@@ -1,0 +1,87 @@
+// jobserver-bench regenerates the paper's Figure 4: per-task-class
+// 95th and 99th percentile latencies of the job server (mm, fib,
+// sort, sw at SJF priorities) under Prompt I-Cilk and the Adaptive
+// variants, normalized to Prompt I-Cilk, at low / medium / high
+// server load.
+//
+// The paper drives the 20-core server at 3/4/5 RPS of large parallel
+// jobs; this harness scales both job sizes and rates to a single-CPU
+// host (-rps to override).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"icilk/internal/bench"
+	"icilk/internal/jobserver"
+)
+
+func main() {
+	rpsList := flag.String("rps", "30,40,50", "comma-separated RPS points (paper: 3,4,5 with 20-core jobs)")
+	dur := flag.Duration("dur", 2*time.Second, "measurement window per point")
+	workers := flag.Int("workers", 4, "scheduler workers (paper: 20)")
+	quick := flag.Bool("quick", false, "2-point parameter sweep")
+	seed := flag.Uint64("seed", 0xbeef, "workload seed")
+	flag.Parse()
+
+	var rps []float64
+	for _, s := range strings.Split(*rpsList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -rps:", err)
+			os.Exit(2)
+		}
+		rps = append(rps, v)
+	}
+	sweep := bench.DefaultSweep()
+	if *quick {
+		sweep = bench.QuickSweep()
+	}
+
+	fmt.Println("# Figure 4: job server p95/p99 latency per class, normalized to Prompt I-Cilk")
+	fmt.Println("# Paper expectation: Prompt <= 1.0 across the board (it outperforms every")
+	fmt.Println("# Adaptive variant); the gap grows with load and with priority (promptness),")
+	fmt.Println("# and AdaptiveGreedy beats the other Adaptive variants on the low-priority")
+	fmt.Println("# classes at high load (aging).")
+
+	for _, r := range rps {
+		opt := bench.ServerOptions{Workers: *workers, RPS: r, Duration: *dur, Seed: *seed}
+		prompt, err := bench.RunJob(0, bench.DefaultSweep()[0], opt) // params ignored by Prompt
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n== RPS %.0f ==\n", r)
+		fmt.Printf("%-16s %-6s %12s %12s %10s %10s\n", "scheduler", "class", "p95", "p99", "p95/pr", "p99/pr")
+		for _, class := range jobserver.OpNames {
+			s := prompt.PerOp.Class(class).Summarize()
+			fmt.Printf("%-16s %-6s %s %s %10.2f %10.2f\n", "prompt", class, bench.Fmt(s.P95), bench.Fmt(s.P99), 1.0, 1.0)
+		}
+		for _, spec := range bench.Schedulers(sweep)[1:] {
+			best, _, err := bench.BestServer(spec, opt, bench.RunJob)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			for _, class := range jobserver.OpNames {
+				s := best.PerOp.Class(class).Summarize()
+				pr := prompt.PerOp.Class(class).Summarize()
+				fmt.Printf("%-16s %-6s %s %s %10.2f %10.2f\n", spec.Name, class,
+					bench.Fmt(s.P95), bench.Fmt(s.P99),
+					ratio(s.P95, pr.P95), ratio(s.P99, pr.P99))
+			}
+		}
+	}
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

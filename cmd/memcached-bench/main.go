@@ -1,0 +1,135 @@
+// memcached-bench regenerates the paper's Memcached experiments:
+//
+//	Figure 1: p99 latency vs RPS — pthread vs Adaptive I-Cilk
+//	          (best-of-sweep) vs Prompt I-Cilk.
+//	Figure 2: average number of non-empty deques per quantum vs RPS
+//	          (Adaptive I-Cilk).
+//	Figure 3: p95 and p99 latency vs RPS for pthread, Prompt, and all
+//	          Adaptive variants (each best-of-parameter-sweep).
+//
+// RPS values are scaled for the host this runs on; pass -rps to
+// override. The paper's qualitative expectations are printed beside
+// the measurements (see EXPERIMENTS.md for the comparison record).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"icilk"
+	"icilk/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 3, "figure to regenerate (1, 2, or 3)")
+	rpsList := flag.String("rps", "500,1000,1500,2000", "comma-separated RPS points")
+	dur := flag.Duration("dur", 1500*time.Millisecond, "measurement window per point")
+	conns := flag.Int("conns", 64, "client connections")
+	workers := flag.Int("workers", 4, "server worker threads")
+	quick := flag.Bool("quick", false, "2-point parameter sweep instead of 4")
+	seed := flag.Uint64("seed", 0xcafe, "workload seed")
+	reps := flag.Int("reps", 1, "repetitions per point (median by p99 reported)")
+	flag.Parse()
+
+	var rps []float64
+	for _, s := range strings.Split(*rpsList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -rps %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		rps = append(rps, v)
+	}
+	sweep := bench.DefaultSweep()
+	if *quick {
+		sweep = bench.QuickSweep()
+	}
+	opt := func(r float64) bench.MemcachedOptions {
+		return bench.MemcachedOptions{
+			Workers: *workers, Connections: *conns, RPS: r,
+			Duration: *dur, Seed: *seed, Reps: *reps,
+		}
+	}
+
+	switch *fig {
+	case 1:
+		fig1(rps, sweep, opt)
+	case 2:
+		fig2(rps, sweep, opt)
+	case 3:
+		fig3(rps, sweep, opt)
+	default:
+		fmt.Fprintln(os.Stderr, "-fig must be 1, 2, or 3")
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func fig1(rps []float64, sweep []icilk.AdaptiveParams, opt func(float64) bench.MemcachedOptions) {
+	fmt.Println("# Figure 1: Memcached p99 latency vs RPS")
+	fmt.Println("# Paper expectation: Adaptive I-Cilk >> pthread ~ Prompt I-Cilk (lower is better);")
+	fmt.Println("# Prompt matches or beats pthread, Adaptive is far worse at every load.")
+	fmt.Printf("%10s %14s %14s %14s\n", "RPS", "pthread", "adaptive", "prompt")
+	for _, r := range rps {
+		pt, err := bench.RunMemcachedPthread(opt(r))
+		check(err)
+		ad, _, err := bench.BestMemcached(bench.Spec{Name: "adaptive", Kind: icilk.Adaptive, Sweep: sweep}, opt(r))
+		check(err)
+		pr, err := bench.RunMemcachedICilk(icilk.Prompt, icilk.AdaptiveParams{}, opt(r))
+		check(err)
+		fmt.Printf("%10.0f %s %s %s\n", r,
+			bench.Fmt(pt.Latency.Percentile(99)),
+			bench.Fmt(ad.Latency.Percentile(99)),
+			bench.Fmt(pr.Latency.Percentile(99)))
+	}
+}
+
+func fig2(rps []float64, sweep []icilk.AdaptiveParams, opt func(float64) bench.MemcachedOptions) {
+	fmt.Println("# Figure 2: average non-empty deques per quantum (Adaptive I-Cilk, Memcached)")
+	fmt.Println("# Paper expectation: hundreds of non-empty deques even at moderate load,")
+	fmt.Println("# growing with RPS — far more deques than workers.")
+	fmt.Printf("%10s %16s %16s\n", "RPS", "deques(level0)", "deques(level1)")
+	for _, r := range rps {
+		run, err := bench.RunMemcachedICilk(icilk.Adaptive, sweep[0], opt(r))
+		check(err)
+		d0, d1 := run.AvgNonEmptyDeques[0], run.AvgNonEmptyDeques[1]
+		fmt.Printf("%10.0f %16.1f %16.1f\n", r, d0, d1)
+	}
+}
+
+func fig3(rps []float64, sweep []icilk.AdaptiveParams, opt func(float64) bench.MemcachedOptions) {
+	fmt.Println("# Figure 3: Memcached p95/p99 latency vs RPS, all schedulers")
+	fmt.Println("# Paper expectation: Prompt, Adaptive+aging, AdaptiveGreedy track pthread")
+	fmt.Println("# (beating it at high RPS on p99); plain Adaptive is far worse — the aging")
+	fmt.Println("# heuristic is the crucial difference. AdaptiveGreedy can edge out Prompt at")
+	fmt.Println("# the highest RPS (promptness costs a little there).")
+	specs := bench.Schedulers(sweep)
+	fmt.Printf("%10s %-16s %14s %14s\n", "RPS", "scheduler", "p95", "p99")
+	for _, r := range rps {
+		pt, err := bench.RunMemcachedPthread(opt(r))
+		check(err)
+		fmt.Printf("%10.0f %-16s %s %s\n", r, "pthread",
+			bench.Fmt(pt.Latency.Percentile(95)), bench.Fmt(pt.Latency.Percentile(99)))
+		for _, spec := range specs {
+			best, all, err := bench.BestMemcached(spec, opt(r))
+			check(err)
+			fmt.Printf("%10.0f %-16s %s %s", r, spec.Name,
+				bench.Fmt(best.Latency.Percentile(95)), bench.Fmt(best.Latency.Percentile(99)))
+			if len(all) > 1 {
+				fmt.Printf("   (best of %d params: q=%v d=%.2f r=%.0f)",
+					len(all), best.Params.Quantum, best.Params.Delta, best.Params.Rho)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// qos-search finds the maximum Memcached RPS that still meets the
+// paper's quality-of-service criterion (95% of requests within the
+// latency bound; the paper uses 10ms with 600 connections) via binary
+// search — the methodology of Palit et al. that the paper adopts for
+// choosing its operating points.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"icilk"
+	"icilk/internal/bench"
+	"icilk/internal/stats"
+	"icilk/internal/workload"
+)
+
+func main() {
+	server := flag.String("server", "prompt", "server: pthread, prompt, adaptive, adaptive+aging, adaptive-greedy")
+	lo := flag.Float64("lo", 200, "search floor RPS")
+	hi := flag.Float64("hi", 6000, "search ceiling RPS")
+	iters := flag.Int("iters", 7, "binary search iterations")
+	limit := flag.Duration("limit", 10*time.Millisecond, "QoS latency bound")
+	pct := flag.Float64("pct", 95, "QoS percentile")
+	dur := flag.Duration("dur", 1500*time.Millisecond, "window per probe")
+	conns := flag.Int("conns", 64, "client connections")
+	flag.Parse()
+
+	kinds := map[string]icilk.Scheduler{
+		"prompt": icilk.Prompt, "adaptive": icilk.Adaptive,
+		"adaptive+aging": icilk.AdaptiveAging, "adaptive-greedy": icilk.AdaptiveGreedy,
+	}
+
+	run := func(rps float64) *stats.Recorder {
+		opt := bench.MemcachedOptions{RPS: rps, Duration: *dur, Connections: *conns}
+		var r *bench.Run
+		var err error
+		if *server == "pthread" {
+			r, err = bench.RunMemcachedPthread(opt)
+		} else {
+			kind, ok := kinds[*server]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown server %q\n", *server)
+				os.Exit(2)
+			}
+			r, err = bench.RunMemcachedICilk(kind, bench.DefaultSweep()[1], opt)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  probe rps=%6.0f -> p%.0f=%v\n", rps, *pct, r.Latency.Percentile(*pct))
+		return r.Latency
+	}
+
+	fmt.Printf("# QoS search for %s: %.0f%% of requests within %v\n", *server, *pct, *limit)
+	max := workload.FindMaxRPS(*lo, *hi, *iters, workload.PercentileUnder(*pct, *limit), run)
+	if max == 0 {
+		fmt.Printf("%s: QoS not met even at %.0f RPS\n", *server, *lo)
+		return
+	}
+	fmt.Printf("%s: max RPS meeting QoS ~= %.0f\n", *server, max)
+}

@@ -1,0 +1,78 @@
+// Quickstart: fork-join parallelism and futures on the icilk runtime.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"icilk"
+)
+
+// fib computes Fibonacci numbers with spawn/sync, the canonical
+// fork-join example.
+func fib(t *icilk.Task, n int) int {
+	if n < 10 {
+		return fibSeq(n)
+	}
+	var a int
+	t.Spawn(func(ct *icilk.Task) { a = fib(ct, n-1) })
+	b := fib(t, n-2)
+	t.Sync()
+	return a + b
+}
+
+func fibSeq(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+func main() {
+	rt, err := icilk.New(icilk.Config{Workers: 4, Levels: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	// Fork-join: Run blocks until the root task returns.
+	start := time.Now()
+	result := rt.Run(func(t *icilk.Task) any { return fib(t, 28) }).(int)
+	fmt.Printf("fib(28) = %d  (%v)\n", result, time.Since(start))
+
+	// Futures: fut-create starts a computation whose handle can
+	// outlive the lexical scope; Get suspends only the waiting task,
+	// never a worker.
+	sum := rt.Run(func(t *icilk.Task) any {
+		futs := make([]*icilk.Future, 8)
+		for i := range futs {
+			i := i
+			futs[i] = t.FutCreate(0, func(ct *icilk.Task) any {
+				return fib(ct, 20+i%3)
+			})
+		}
+		total := 0
+		for _, f := range futs {
+			total += f.Get(t).(int)
+		}
+		return total
+	}).(int)
+	fmt.Printf("sum of 8 future fibs = %d\n", sum)
+
+	// I/O futures: Sleep parks the task on a timer-completed future;
+	// the single worker below stays busy with other tasks meanwhile.
+	done := make(chan struct{})
+	rt.Submit(1, func(t *icilk.Task) any {
+		rt.Sleep(t, 10*time.Millisecond)
+		fmt.Println("low-priority task woke from I/O wait")
+		close(done)
+		return nil
+	})
+	hi := rt.Submit(0, func(t *icilk.Task) any {
+		return "high-priority work ran while the other task slept"
+	})
+	fmt.Println(hi.Wait().(string))
+	<-done
+}

@@ -1,0 +1,99 @@
+// Traceview demonstrates the scheduler event trace: it runs a bursty
+// two-priority workload under Prompt I-Cilk with tracing enabled and
+// prints the event counts plus a short timeline excerpt around a
+// priority preemption — steal, mug, abandon, suspend, resume, sleep,
+// and wake events as the scheduler made them.
+//
+//	go run ./examples/traceview
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"icilk"
+	"icilk/internal/trace"
+)
+
+func main() {
+	rt, err := icilk.New(icilk.Config{Workers: 2, Levels: 2, TraceCapacity: 65536})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	// Low-priority background crunching.
+	stop := make(chan struct{})
+	var background []*icilk.Future
+	for i := 0; i < 3; i++ {
+		background = append(background, rt.Submit(1, func(t *icilk.Task) any {
+			for {
+				select {
+				case <-stop:
+					return nil
+				default:
+					t.Yield()
+				}
+			}
+		}))
+	}
+
+	// Interactive high-priority requests with I/O waits.
+	for i := 0; i < 20; i++ {
+		rt.Submit(0, func(t *icilk.Task) any {
+			rt.Sleep(t, 500*time.Microsecond) // an "I/O" wait
+			return nil
+		}).Wait()
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	for _, f := range background {
+		f.Wait()
+	}
+
+	tr := rt.Trace()
+	fmt.Println("event counts:")
+	for _, k := range []trace.Kind{
+		trace.Steal, trace.Mug, trace.Abandon, trace.Suspend,
+		trace.Resume, trace.Enqueue, trace.Drop, trace.Sleep, trace.Wake,
+	} {
+		fmt.Printf("  %-8v %6d\n", k, tr.Count(k))
+	}
+
+	// Print the timeline around the first abandonment: the low-priority
+	// worker leaving its deque for the high-priority arrival.
+	events := tr.Snapshot()
+	firstAbandon := -1
+	for i, e := range events {
+		if e.Kind == trace.Abandon {
+			firstAbandon = i
+			break
+		}
+	}
+	if firstAbandon < 0 {
+		fmt.Println("\n(no abandonment captured — try more background tasks)")
+		return
+	}
+	lo := firstAbandon - 4
+	if lo < 0 {
+		lo = 0
+	}
+	hi := firstAbandon + 6
+	if hi > len(events) {
+		hi = len(events)
+	}
+	fmt.Println("\ntimeline around the first priority preemption:")
+	for _, e := range events[lo:hi] {
+		who := fmt.Sprintf("worker %d", e.Worker)
+		if e.Worker < 0 {
+			who = "io-thread"
+		}
+		lvl := fmt.Sprintf("level %d", e.Level)
+		if e.Level < 0 {
+			lvl = "(idle)"
+		}
+		fmt.Printf("  %8.1fus  %-9s %-8v %s\n",
+			float64(e.TS)/1e3, who, e.Kind, lvl)
+	}
+	fmt.Printf("\ntotal events: %d (ring keeps the most recent %d)\n", tr.Total(), 65536)
+}

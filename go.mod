@@ -1,0 +1,3 @@
+module icilk
+
+go 1.23

@@ -1,0 +1,180 @@
+// Package icilk is the public API of this reproduction of "An
+// Efficient Scheduler for Task-Parallel Interactive Applications"
+// (Singer, Agrawal, Lee — SPAA 2023): a priority-oriented
+// task-parallel runtime for interactive applications, providing
+// fork-join parallelism (Spawn/Sync), futures (FutCreate/Get), I/O
+// futures with a synchronous interface, and four interchangeable
+// schedulers — Prompt I-Cilk (the paper's contribution), Adaptive
+// I-Cilk (the prior state of the art), and the two hybrid variants the
+// paper evaluates (Adaptive plus aging, Adaptive Greedy).
+//
+// # Quick start
+//
+//	rt, _ := icilk.New(icilk.Config{Workers: 4, Levels: 2})
+//	defer rt.Close()
+//	sum := rt.Run(func(t *icilk.Task) any {
+//	    var a, b int
+//	    t.Spawn(func(ct *icilk.Task) { a = work(ct) })
+//	    b = work(t)
+//	    t.Sync()
+//	    return a + b
+//	}).(int)
+//
+// Priority level 0 is the highest. Tasks at lower levels are abandoned
+// promptly (under the Prompt scheduler) whenever higher-priority work
+// appears.
+package icilk
+
+import (
+	"time"
+
+	"icilk/internal/iopool"
+	"icilk/internal/sched"
+	"icilk/internal/stats"
+	"icilk/internal/trace"
+)
+
+// Task is the per-task context passed to every task function; it
+// carries the Spawn/Sync/FutCreate operations. See the sched package
+// for semantics.
+type Task = sched.Task
+
+// Future is a handle to an asynchronously computed value.
+type Future = sched.Future
+
+// Scheduler selects the scheduling policy.
+type Scheduler = sched.PolicyKind
+
+// Scheduler kinds.
+const (
+	// Prompt is Prompt I-Cilk: centralized per-level FIFO deque pools
+	// with a mugging queue, frequent bitfield checks, sleep on idle.
+	Prompt = sched.Prompt
+	// Adaptive is Adaptive I-Cilk: two-level scheduling with
+	// randomized work stealing over per-worker deque pools.
+	Adaptive = sched.Adaptive
+	// AdaptiveAging adds per-worker resumption-order queues to
+	// Adaptive.
+	AdaptiveAging = sched.AdaptiveAging
+	// AdaptiveGreedy pairs the Adaptive top level with Prompt's
+	// centralized bottom level.
+	AdaptiveGreedy = sched.AdaptiveGreedy
+)
+
+// AdaptiveParams are the tunables of the Adaptive variants' top-level
+// allocator (the paper sweeps these per benchmark).
+type AdaptiveParams = sched.AdaptiveParams
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of scheduler workers. Default 4.
+	Workers int
+	// IOThreads is the number of I/O handling threads. Default 4,
+	// matching the paper's setup.
+	IOThreads int
+	// Levels is the number of priority levels (level 0 highest),
+	// 1..64. Default 2.
+	Levels int
+	// Scheduler selects the policy. Default Prompt.
+	Scheduler Scheduler
+	// Adaptive parameterizes the Adaptive variants.
+	Adaptive AdaptiveParams
+	// DisableMuggingQueue is a Prompt ablation: abandoned deques are
+	// enqueued at the regular queue's tail (de-aged).
+	DisableMuggingQueue bool
+	// TraceCapacity, if positive, enables the scheduler event trace
+	// (see Runtime.Trace) with a ring of that many events.
+	TraceCapacity int
+}
+
+// Runtime is a running scheduler instance plus its I/O subsystem.
+type Runtime struct {
+	rt *sched.Runtime
+	io *iopool.Pool
+}
+
+// New creates and starts a runtime.
+func New(cfg Config) (*Runtime, error) {
+	rt, err := sched.New(sched.Config{
+		Workers:             cfg.Workers,
+		Levels:              cfg.Levels,
+		Policy:              cfg.Scheduler,
+		Adaptive:            cfg.Adaptive,
+		DisableMuggingQueue: cfg.DisableMuggingQueue,
+		TraceCapacity:       cfg.TraceCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	io := cfg.IOThreads
+	if io <= 0 {
+		io = 4
+	}
+	return &Runtime{rt: rt, io: iopool.New(io)}, nil
+}
+
+// Close shuts the runtime down. Drain outstanding work first (wait on
+// your futures, or poll Inflight).
+func (r *Runtime) Close() {
+	r.io.Close()
+	r.rt.Close()
+}
+
+// Run executes fn as a top-priority future routine and blocks until it
+// returns.
+func (r *Runtime) Run(fn func(*Task) any) any { return r.rt.Run(fn) }
+
+// Submit injects fn as a new future routine at the given priority
+// level from any goroutine.
+func (r *Runtime) Submit(level int, fn func(*Task) any) *Future {
+	return r.rt.SubmitFuture(level, fn)
+}
+
+// Inflight returns the number of submitted-but-unfinished futures.
+func (r *Runtime) Inflight() int64 { return r.rt.Inflight() }
+
+// NonEmptyDeques returns the instantaneous number of deques holding
+// work at the given priority level (the quantity of the paper's
+// Figure 2).
+func (r *Runtime) NonEmptyDeques(level int) int64 { return r.rt.NonEmptyDeques(level) }
+
+// WasteReport aggregates worker time accounting (work / overhead /
+// waste plus steal, mug, failed-steal, sleep, and abandon counts).
+func (r *Runtime) WasteReport() stats.WasteReport { return r.rt.WasteReport() }
+
+// ResetWaste zeroes the waste accounting (call after warmup).
+func (r *Runtime) ResetWaste() { r.rt.ResetWaste() }
+
+// Workers returns the configured worker count.
+func (r *Runtime) Workers() int { return r.rt.Workers() }
+
+// Levels returns the configured number of priority levels.
+func (r *Runtime) Levels() int { return r.rt.Levels() }
+
+// Trace returns the scheduler event log, or nil unless
+// Config.TraceCapacity was set. Events cover steals, muggings,
+// abandonments, suspensions, resumptions, pool enqueues/drops, and
+// idle sleeps/wakes.
+func (r *Runtime) Trace() *trace.Log { return r.rt.Trace() }
+
+// NewIOFuture creates a future to be completed by external code — the
+// raw building block for custom I/O integrations.
+func (r *Runtime) NewIOFuture() *Future { return r.rt.NewIOFuture() }
+
+// CompleteIO fulfills an I/O future through the I/O handler threads:
+// the completion is queued FIFO behind earlier completions and
+// processed by a handler thread, exactly as the paper's I/O subsystem
+// does. Use this (rather than calling f.Complete directly) so that
+// resumption order reflects completion arrival order.
+func (r *Runtime) CompleteIO(f *Future, v any) {
+	r.io.Submit(func() { f.Complete(v) })
+}
+
+// Sleep parks the calling task for d without occupying a worker: the
+// worker suspends the task's deque and runs other work; a timer
+// completes the underlying I/O future through the handler threads.
+func (r *Runtime) Sleep(t *Task, d time.Duration) {
+	f := r.rt.NewIOFuture()
+	time.AfterFunc(d, func() { r.CompleteIO(f, nil) })
+	f.Get(t)
+}

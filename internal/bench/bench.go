@@ -1,0 +1,428 @@
+// Package bench is the shared harness behind the cmd/ benchmark
+// binaries: it runs each application (Memcached, email server, job
+// server) under each scheduler, performs the Adaptive-variant
+// parameter sweeps the paper describes, and returns the measurements
+// the figures plot (latency percentiles, waste/running time, deque
+// counts).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"icilk"
+	"icilk/internal/emailserver"
+	"icilk/internal/jobserver"
+	"icilk/internal/memcached"
+	"icilk/internal/netsim"
+	"icilk/internal/stats"
+	"icilk/internal/workload"
+)
+
+// Spec names one scheduler configuration to benchmark.
+type Spec struct {
+	Name string
+	Kind icilk.Scheduler
+	// Sweep is the set of runtime parameters to try (Adaptive
+	// variants only); the best point by tail latency is reported, as
+	// in the paper. Empty for Prompt.
+	Sweep []icilk.AdaptiveParams
+}
+
+// DefaultSweep returns the parameter grid used for the Adaptive
+// variants. The paper sweeps 3-5 parameter sets per benchmark and
+// reports the best; this grid spans quantum length and the
+// grow/shrink aggressiveness of the allocator.
+func DefaultSweep() []icilk.AdaptiveParams {
+	return []icilk.AdaptiveParams{
+		{Quantum: 1 * time.Millisecond, Delta: 0.5, Rho: 2},
+		{Quantum: 2 * time.Millisecond, Delta: 0.75, Rho: 2},
+		{Quantum: 5 * time.Millisecond, Delta: 0.75, Rho: 2},
+		{Quantum: 2 * time.Millisecond, Delta: 0.5, Rho: 4},
+	}
+}
+
+// QuickSweep is a 2-point sweep for fast runs.
+func QuickSweep() []icilk.AdaptiveParams {
+	return DefaultSweep()[:2]
+}
+
+// Schedulers returns the benchmark specs: Prompt, the three Adaptive
+// variants (with sweep), and optionally only a subset.
+func Schedulers(sweep []icilk.AdaptiveParams) []Spec {
+	return []Spec{
+		{Name: "prompt", Kind: icilk.Prompt},
+		{Name: "adaptive", Kind: icilk.Adaptive, Sweep: sweep},
+		{Name: "adaptive+aging", Kind: icilk.AdaptiveAging, Sweep: sweep},
+		{Name: "adaptive-greedy", Kind: icilk.AdaptiveGreedy, Sweep: sweep},
+	}
+}
+
+// Run is one measured execution.
+type Run struct {
+	Spec    Spec
+	Params  icilk.AdaptiveParams // zero for Prompt/pthread
+	Latency *stats.Recorder      // aggregate
+	PerOp   *stats.MultiRecorder // per class, when applicable
+	Waste   stats.WasteReport
+	// AvgNonEmptyDeques is the Figure 2 quantity, sampled per quantum
+	// at each level.
+	AvgNonEmptyDeques []float64
+	Elapsed           time.Duration
+	Completed         int64
+	Errors            int64
+}
+
+// MemcachedOptions configures a Memcached load point.
+type MemcachedOptions struct {
+	Workers     int
+	IOThreads   int
+	Connections int
+	RPS         float64
+	Duration    time.Duration
+	KeySpace    int
+	ValueSize   int
+	GetFraction float64
+	Seed        uint64
+	// Warmup precedes the measured window (0 = Duration/3).
+	Warmup time.Duration
+	// SamplePeriod for the deque-count sampler (0 = 2ms).
+	SamplePeriod time.Duration
+	// Reps repeats each measurement and keeps the median-by-p99 run
+	// (0/1 = single run). Environmental stalls on shared hosts make
+	// single short windows noisy; the medians stabilize the figures.
+	Reps int
+}
+
+func (o *MemcachedOptions) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.IOThreads <= 0 {
+		o.IOThreads = 4
+	}
+	if o.Connections <= 0 {
+		o.Connections = 64
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.SamplePeriod <= 0 {
+		o.SamplePeriod = 2 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xcafe
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = o.Duration / 3
+	}
+}
+
+// memcachedLevels: requests at level 0, background crawler at 1.
+const memcachedLevels = 2
+
+// medianByP99 returns the run with the median p99 (ties broken low).
+func medianByP99(runs []*Run) *Run {
+	sorted := append([]*Run(nil), runs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Latency.Percentile(99) < sorted[j-1].Latency.Percentile(99); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[(len(sorted)-1)/2]
+}
+
+// withReps runs fn opt.Reps times and returns the median-by-p99 run.
+func withReps(reps int, fn func() (*Run, error)) (*Run, error) {
+	if reps <= 1 {
+		return fn()
+	}
+	runs := make([]*Run, 0, reps)
+	for i := 0; i < reps; i++ {
+		r, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	return medianByP99(runs), nil
+}
+
+// RunMemcachedICilk measures one (scheduler, params, RPS) Memcached
+// point on the task-parallel port.
+func RunMemcachedICilk(kind icilk.Scheduler, params icilk.AdaptiveParams, opt MemcachedOptions) (*Run, error) {
+	opt.defaults()
+	if opt.Reps > 1 {
+		reps := opt.Reps
+		opt.Reps = 1
+		return withReps(reps, func() (*Run, error) { return RunMemcachedICilk(kind, params, opt) })
+	}
+	rt, err := icilk.New(icilk.Config{
+		Workers: opt.Workers, IOThreads: opt.IOThreads,
+		Levels: memcachedLevels, Scheduler: kind, Adaptive: params,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+
+	store := memcached.NewStore(memcached.StoreConfig{})
+	wcfg := memcached.WorkloadConfig{
+		Connections: opt.Connections, RPS: opt.RPS, Duration: opt.Duration,
+		KeySpace: opt.KeySpace, ValueSize: opt.ValueSize,
+		GetFraction: opt.GetFraction, Seed: opt.Seed, Warmup: opt.Warmup,
+	}
+	memcached.Preload(store, wcfg)
+	srv := memcached.NewICilkServer(store, rt, memcached.ICilkConfig{})
+	ln := netsim.NewListener()
+	go srv.Serve(ln)
+	defer func() { ln.Close(); srv.Close() }()
+
+	rt.ResetWaste()
+	samplers := make([]*stats.Sampler, memcachedLevels)
+	for l := range samplers {
+		l := l
+		samplers[l] = stats.NewSampler(opt.SamplePeriod, func() float64 {
+			return float64(rt.NonEmptyDeques(l))
+		})
+		samplers[l].Start()
+	}
+
+	res, err := memcached.RunLoad(ln, wcfg)
+	for _, s := range samplers {
+		s.Stop()
+	}
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{
+		Params: params, Latency: res.Latency, Waste: rt.WasteReport(),
+		Elapsed: res.Elapsed, Completed: res.Completed, Errors: res.Errors,
+	}
+	for _, s := range samplers {
+		run.AvgNonEmptyDeques = append(run.AvgNonEmptyDeques, s.Mean())
+	}
+	return run, nil
+}
+
+// RunMemcachedPthread measures one Memcached point on the baseline.
+func RunMemcachedPthread(opt MemcachedOptions) (*Run, error) {
+	opt.defaults()
+	if opt.Reps > 1 {
+		reps := opt.Reps
+		opt.Reps = 1
+		return withReps(reps, func() (*Run, error) { return RunMemcachedPthread(opt) })
+	}
+	store := memcached.NewStore(memcached.StoreConfig{})
+	wcfg := memcached.WorkloadConfig{
+		Connections: opt.Connections, RPS: opt.RPS, Duration: opt.Duration,
+		KeySpace: opt.KeySpace, ValueSize: opt.ValueSize,
+		GetFraction: opt.GetFraction, Seed: opt.Seed, Warmup: opt.Warmup,
+	}
+	memcached.Preload(store, wcfg)
+	srv := memcached.NewPthreadServer(store, memcached.PthreadConfig{Workers: opt.Workers})
+	ln := netsim.NewListener()
+	go srv.Serve(ln)
+	defer func() { ln.Close(); srv.Close() }()
+
+	res, err := memcached.RunLoad(ln, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{
+		Latency: res.Latency, Elapsed: res.Elapsed,
+		Completed: res.Completed, Errors: res.Errors,
+	}, nil
+}
+
+// BestMemcached sweeps the spec's parameters at one RPS and returns
+// the run with the best p99 (the paper's selection criterion for
+// Memcached), plus every swept run.
+func BestMemcached(spec Spec, opt MemcachedOptions) (*Run, []*Run, error) {
+	params := spec.Sweep
+	if len(params) == 0 {
+		params = []icilk.AdaptiveParams{{}}
+	}
+	var best *Run
+	var all []*Run
+	for _, p := range params {
+		r, err := RunMemcachedICilk(spec.Kind, p, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.Spec = spec
+		all = append(all, r)
+		if best == nil || r.Latency.Percentile(99) < best.Latency.Percentile(99) {
+			best = r
+		}
+	}
+	return best, all, nil
+}
+
+// ServerOptions configures an email- or job-server load point.
+type ServerOptions struct {
+	Workers  int
+	RPS      float64
+	Duration time.Duration
+	Seed     uint64
+	// Warmup precedes the measured window (0 = Duration/3).
+	Warmup time.Duration
+	// SamplePeriod for the deque-count sampler (0 = 2ms).
+	SamplePeriod time.Duration
+}
+
+func (o *ServerOptions) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 0xbeef
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = o.Duration / 3
+	}
+	if o.SamplePeriod <= 0 {
+		o.SamplePeriod = 2 * time.Millisecond
+	}
+}
+
+// runServer abstracts the email/job server run shape.
+func runServer(kind icilk.Scheduler, params icilk.AdaptiveParams, opt ServerOptions,
+	levels int, mix []float64, names []string, spread int,
+	mkSubmit func(rt *icilk.Runtime) (workload.SubmitFunc, error)) (*Run, error) {
+
+	opt.defaults()
+	rt, err := icilk.New(icilk.Config{Workers: opt.Workers, Levels: levels, Scheduler: kind, Adaptive: params})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	submit, err := mkSubmit(rt)
+	if err != nil {
+		return nil, err
+	}
+	rt.ResetWaste()
+	samplers := make([]*stats.Sampler, levels)
+	for l := range samplers {
+		l := l
+		samplers[l] = stats.NewSampler(opt.SamplePeriod, func() float64 {
+			return float64(rt.NonEmptyDeques(l))
+		})
+		samplers[l].Start()
+	}
+	res := workload.RunOpenLoop(workload.OpenLoopConfig{
+		RPS: opt.RPS, Duration: opt.Duration, Mix: mix,
+		ClassNames: names, Seed: opt.Seed, Spread: spread,
+		Warmup: opt.Warmup,
+	}, submit)
+	for _, s := range samplers {
+		s.Stop()
+	}
+	run := &Run{
+		Params: params, Latency: res.All, PerOp: res.PerClass,
+		Waste: rt.WasteReport(), Elapsed: res.Elapsed, Completed: res.Sent,
+	}
+	for _, s := range samplers {
+		run.AvgNonEmptyDeques = append(run.AvgNonEmptyDeques, s.Mean())
+	}
+	return run, nil
+}
+
+// RunEmail measures one email-server point. Mix follows the paper's
+// operation set: send-heavy with periodic sort/compress/print.
+func RunEmail(kind icilk.Scheduler, params icilk.AdaptiveParams, opt ServerOptions) (*Run, error) {
+	return runServer(kind, params, opt, emailserver.Levels,
+		[]float64{5, 2, 2, 2}, emailserver.OpNames, 32,
+		func(rt *icilk.Runtime) (workload.SubmitFunc, error) {
+			srv, err := emailserver.New(rt, emailserver.Config{Users: 32})
+			if err != nil {
+				return nil, err
+			}
+			return func(class, user int, seq int64) *icilk.Future {
+				return srv.Do(class, user, seq)
+			}, nil
+		})
+}
+
+// RunJob measures one job-server point with a uniform class mix (the
+// four parallel kernels at SJF priorities).
+func RunJob(kind icilk.Scheduler, params icilk.AdaptiveParams, opt ServerOptions) (*Run, error) {
+	return runServer(kind, params, opt, jobserver.Levels,
+		[]float64{1, 1, 1, 1}, jobserver.OpNames, 0,
+		func(rt *icilk.Runtime) (workload.SubmitFunc, error) {
+			srv, err := jobserver.New(rt, jobserver.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			return func(class, user int, seq int64) *icilk.Future {
+				return srv.Do(class, seq)
+			}, nil
+		})
+}
+
+// RunJobCfg runs the job server under a fully caller-specified
+// runtime configuration (ablation knobs like DisableMuggingQueue).
+// cfg.Levels is forced to the job server's requirement.
+func RunJobCfg(cfg icilk.Config, opt ServerOptions) (*Run, error) {
+	opt.defaults()
+	cfg.Levels = jobserver.Levels
+	if cfg.Workers <= 0 {
+		cfg.Workers = opt.Workers
+	}
+	rt, err := icilk.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	srv, err := jobserver.New(rt, jobserver.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	rt.ResetWaste()
+	res := workload.RunOpenLoop(workload.OpenLoopConfig{
+		RPS: opt.RPS, Duration: opt.Duration, Mix: []float64{1, 1, 1, 1},
+		ClassNames: jobserver.OpNames, Seed: opt.Seed, Warmup: opt.Warmup,
+	}, func(class, user int, seq int64) *icilk.Future {
+		return srv.Do(class, seq)
+	})
+	return &Run{
+		Latency: res.All, PerOp: res.PerClass, Waste: rt.WasteReport(),
+		Elapsed: res.Elapsed, Completed: res.Sent,
+	}, nil
+}
+
+// BestServer sweeps parameters for a spec on the given runner,
+// choosing the best by the paper's criterion for the email and job
+// servers: the average of the 95th and 99th percentile latencies.
+func BestServer(spec Spec, opt ServerOptions,
+	runner func(icilk.Scheduler, icilk.AdaptiveParams, ServerOptions) (*Run, error)) (*Run, []*Run, error) {
+	params := spec.Sweep
+	if len(params) == 0 {
+		params = []icilk.AdaptiveParams{{}}
+	}
+	score := func(r *Run) time.Duration {
+		return (r.Latency.Percentile(95) + r.Latency.Percentile(99)) / 2
+	}
+	var best *Run
+	var all []*Run
+	for _, p := range params {
+		r, err := runner(spec.Kind, p, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.Spec = spec
+		all = append(all, r)
+		if best == nil || score(r) < score(best) {
+			best = r
+		}
+	}
+	return best, all, nil
+}
+
+// Fmt renders a duration in fixed microseconds for table alignment.
+func Fmt(d time.Duration) string {
+	return fmt.Sprintf("%8.0fus", float64(d)/float64(time.Microsecond))
+}

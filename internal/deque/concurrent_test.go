@@ -1,0 +1,168 @@
+package deque
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentOwnerAndThieves runs one owner (push/pop bottom)
+// against several thieves (steal top) and checks exactly-once
+// delivery: every pushed item is consumed by exactly one party.
+func TestConcurrentOwnerAndThieves(t *testing.T) {
+	d := New(0, nil)
+	const items = 20000
+	const thieves = 3
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	note := func(v any) {
+		mu.Lock()
+		seen[v.(int)]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, _, ok := d.StealTop(); ok {
+					note(v)
+					continue
+				}
+				select {
+				case <-done:
+					// Final drain.
+					for {
+						v, _, ok := d.StealTop()
+						if !ok {
+							return
+						}
+						note(v)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: push bursts, pop some back.
+	for i := 0; i < items; i++ {
+		d.PushBottom(i)
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				note(v)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	// Drain anything left.
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		note(v)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != items {
+		t.Fatalf("consumed %d distinct items, want %d", len(seen), items)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d consumed %d times", v, n)
+		}
+	}
+}
+
+// TestConcurrentMugVsSteal races TryMug and TryStealTop on a
+// resumable deque with items: the blocked frame must be delivered
+// exactly once, and each item exactly once.
+func TestConcurrentMugVsSteal(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		d := New(0, nil)
+		d.PushBottom("item0")
+		d.PushBottom("item1")
+		d.Suspend("blocked")
+		d.MarkResumable()
+
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		got := make(map[string]int)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if v, ok := d.TryMug(); ok {
+					mu.Lock()
+					got[v.(string)]++
+					mu.Unlock()
+				}
+				if v, ok := d.TryStealTop(); ok {
+					mu.Lock()
+					got[v.(string)]++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		mu.Lock()
+		if got["blocked"] != 1 {
+			t.Fatalf("round %d: blocked frame delivered %d times", round, got["blocked"])
+		}
+		for _, k := range []string{"item0", "item1"} {
+			if got[k] > 1 {
+				t.Fatalf("round %d: %s delivered %d times", round, k, got[k])
+			}
+		}
+		mu.Unlock()
+	}
+}
+
+// TestTakeForThiefConcurrent hammers the pool-pop claim path from
+// several thieves at once.
+func TestTakeForThiefConcurrent(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		d := New(0, nil)
+		d.PushBottom(1)
+		d.Suspend(2)
+		d.MarkResumable()
+
+		var wg sync.WaitGroup
+		var mugs, steals, discards [8]int
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < 2; j++ {
+					res, _, _ := d.TakeForThief(false)
+					switch res {
+					case PopMug:
+						mugs[i]++
+					case PopSteal:
+						steals[i]++
+					case PopDiscard:
+						discards[i]++
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		totalMugs, totalSteals := 0, 0
+		for i := range mugs {
+			totalMugs += mugs[i]
+			totalSteals += steals[i]
+		}
+		if totalMugs != 1 {
+			t.Fatalf("round %d: %d mugs, want exactly 1", round, totalMugs)
+		}
+		if totalSteals != 1 {
+			t.Fatalf("round %d: %d steals, want exactly 1", round, totalSteals)
+		}
+	}
+}

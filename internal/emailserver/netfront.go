@@ -1,0 +1,128 @@
+package emailserver
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"icilk"
+	"icilk/internal/netsim"
+)
+
+// Network frontend: the paper's email server receives its operations
+// from client machines over connections ("used 20 cores to simulate
+// client connections"). This frontend exposes the four operations over
+// a line protocol; each connection is a future routine at the lowest
+// priority level, and every request is dispatched as a future at its
+// operation's own priority level (handler waits never point at
+// lower-priority work, so the dispatch is inversion-free):
+//
+//	SEND <user> <from> <subject> <bodylen>\r\n<body>\r\n -> OK\r\n
+//	SORT <user>\r\n                                      -> OK\r\n
+//	COMPRESS <user>\r\n                                  -> OK <bytes>\r\n
+//	PRINT <user>\r\n                                     -> OK <bytes>\r\n
+//	QUIT\r\n                                             -> closes
+type NetFrontend struct {
+	srv *Server
+	rt  *icilk.Runtime
+}
+
+// NewNetFrontend wraps a server.
+func NewNetFrontend(srv *Server, rt *icilk.Runtime) *NetFrontend {
+	return &NetFrontend{srv: srv, rt: rt}
+}
+
+// Serve accepts connections until the listener closes. It blocks; run
+// it on a goroutine.
+func (nf *NetFrontend) Serve(ln *netsim.Listener) {
+	for {
+		ep, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nf.rt.Submit(LevelPrint, func(t *icilk.Task) any {
+			nf.handleConn(t, ep)
+			return nil
+		})
+	}
+}
+
+func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
+	defer ep.Close()
+	lr := nf.rt.NewLineReader(ep)
+	for {
+		line, err := lr.ReadLine(t)
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "SEND":
+			if len(fields) != 5 {
+				ep.WriteString("ERR usage: SEND <user> <from> <subject> <bodylen>\r\n")
+				continue
+			}
+			user, err1 := strconv.Atoi(fields[1])
+			bodyLen, err2 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || bodyLen < 0 {
+				ep.WriteString("ERR bad arguments\r\n")
+				continue
+			}
+			body, err := lr.ReadBlock(t, bodyLen)
+			if err != nil {
+				return
+			}
+			nf.srv.Send(user, fields[2], fields[3], body).Get(t)
+			ep.WriteString("OK\r\n")
+
+		case "SORT":
+			user, ok := parseUser(ep, fields)
+			if !ok {
+				continue
+			}
+			nf.srv.Sort(user).Get(t)
+			ep.WriteString("OK\r\n")
+
+		case "COMPRESS":
+			user, ok := parseUser(ep, fields)
+			if !ok {
+				continue
+			}
+			n := nf.srv.Compress(user).Get(t).(int)
+			fmt.Fprintf(ep, "OK %d\r\n", n)
+
+		case "PRINT":
+			user, ok := parseUser(ep, fields)
+			if !ok {
+				continue
+			}
+			n := nf.srv.Print(user).Get(t).(int)
+			fmt.Fprintf(ep, "OK %d\r\n", n)
+
+		case "QUIT":
+			ep.WriteString("OK\r\n")
+			return
+
+		default:
+			ep.WriteString("ERR unknown command\r\n")
+		}
+	}
+}
+
+// parseUser extracts the single <user> argument, replying with an
+// error line on failure.
+func parseUser(ep *netsim.Endpoint, fields []string) (int, bool) {
+	if len(fields) != 2 {
+		ep.WriteString("ERR usage: " + strings.ToUpper(fields[0]) + " <user>\r\n")
+		return 0, false
+	}
+	user, err := strconv.Atoi(fields[1])
+	if err != nil {
+		ep.WriteString("ERR bad user\r\n")
+		return 0, false
+	}
+	return user, true
+}

@@ -1,0 +1,171 @@
+package emailserver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"icilk"
+	"icilk/internal/netsim"
+)
+
+// netClient is a minimal blocking client for the frontend protocol.
+type netClient struct {
+	ep  *netsim.Endpoint
+	buf []byte
+	pos int
+}
+
+func (c *netClient) readLine(t *testing.T) string {
+	t.Helper()
+	for {
+		for i := c.pos; i < len(c.buf); i++ {
+			if c.buf[i] == '\n' {
+				line := strings.TrimRight(string(c.buf[c.pos:i]), "\r")
+				c.pos = i + 1
+				return line
+			}
+		}
+		var chunk [512]byte
+		n, err := c.ep.Read(chunk[:])
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		c.buf = append(c.buf, chunk[:n]...)
+	}
+}
+
+func (c *netClient) cmd(t *testing.T, req string) string {
+	t.Helper()
+	if _, err := c.ep.WriteString(req); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return c.readLine(t)
+}
+
+func startFrontend(t *testing.T) (*netsim.Listener, *Server, func()) {
+	t.Helper()
+	rt, err := icilk.New(icilk.Config{Workers: 2, Levels: Levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(rt, Config{Users: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := NewNetFrontend(srv, rt)
+	ln := netsim.NewListener()
+	go nf.Serve(ln)
+	return ln, srv, func() { ln.Close(); rt.Close() }
+}
+
+func TestNetFrontendFullSession(t *testing.T) {
+	ln, srv, stop := startFrontend(t)
+	defer stop()
+	ep, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &netClient{ep: ep}
+
+	body := "Hello there, this is a mail body."
+	for i := 0; i < 3; i++ {
+		got := c.cmd(t, fmt.Sprintf("SEND 1 alice@x sub%d %d\r\n%s\r\n", 2-i, len(body), body))
+		if got != "OK" {
+			t.Fatalf("SEND -> %q", got)
+		}
+	}
+	if got := srv.MailboxLen(1); got != 3 {
+		t.Fatalf("mailbox len = %d", got)
+	}
+	if got := c.cmd(t, "SORT 1\r\n"); got != "OK" {
+		t.Fatalf("SORT -> %q", got)
+	}
+	got := c.cmd(t, "COMPRESS 1\r\n")
+	if !strings.HasPrefix(got, "OK ") {
+		t.Fatalf("COMPRESS -> %q", got)
+	}
+	got = c.cmd(t, "PRINT 1\r\n")
+	if !strings.HasPrefix(got, "OK ") {
+		t.Fatalf("PRINT -> %q", got)
+	}
+	var n int
+	fmt.Sscanf(got, "OK %d", &n)
+	if n <= 0 {
+		t.Fatalf("PRINT rendered %d bytes", n)
+	}
+	if got := c.cmd(t, "QUIT\r\n"); got != "OK" {
+		t.Fatalf("QUIT -> %q", got)
+	}
+}
+
+func TestNetFrontendErrors(t *testing.T) {
+	ln, _, stop := startFrontend(t)
+	defer stop()
+	ep, _ := ln.Dial()
+	c := &netClient{ep: ep}
+
+	if got := c.cmd(t, "BOGUS\r\n"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("unknown -> %q", got)
+	}
+	if got := c.cmd(t, "SEND 1 a b\r\n"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("short send -> %q", got)
+	}
+	if got := c.cmd(t, "SORT abc\r\n"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad user -> %q", got)
+	}
+	if got := c.cmd(t, "SORT 1 2\r\n"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("extra args -> %q", got)
+	}
+}
+
+func TestNetFrontendConcurrentClients(t *testing.T) {
+	ln, _, stop := startFrontend(t)
+	defer stop()
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		go func() {
+			ep, err := ln.Dial()
+			if err != nil {
+				done <- err
+				return
+			}
+			defer ep.Close()
+			c := &netClient{ep: ep}
+			body := fmt.Sprintf("body-from-client-%d", i)
+			for j := 0; j < 10; j++ {
+				ep.WriteString(fmt.Sprintf("SEND %d c%d@x s %d\r\n%s\r\n", i, i, len(body), body))
+				if line := c.readLineNoFatal(); line != "OK" {
+					done <- fmt.Errorf("client %d: SEND -> %q", i, line)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// readLineNoFatal is the goroutine-safe variant (no *testing.T).
+func (c *netClient) readLineNoFatal() string {
+	for {
+		for i := c.pos; i < len(c.buf); i++ {
+			if c.buf[i] == '\n' {
+				line := strings.TrimRight(string(c.buf[c.pos:i]), "\r")
+				c.pos = i + 1
+				return line
+			}
+		}
+		var chunk [512]byte
+		n, err := c.ep.Read(chunk[:])
+		if err != nil {
+			return "<read error>"
+		}
+		c.buf = append(c.buf, chunk[:n]...)
+	}
+}

@@ -1,0 +1,175 @@
+// Package epoch implements epoch-based memory reclamation (EBR) in the
+// style of Fraser [15 in the paper]. The paper's centralized deque-pool
+// queue is "organized as an array of arrays to allow for concurrent
+// accesses while resizing" and "uses the standard epoch-based
+// reclamation technique to ensure that no workers are still referencing
+// the old arrays before recycling them".
+//
+// Go's garbage collector already guarantees that a segment cannot be
+// freed while referenced, so in Go the role of EBR shifts from safety
+// to *recycling*: a retired queue segment may only be returned to a
+// free pool (and thus handed to another producer, who will overwrite
+// it) once no reader can still be traversing it. The algorithm is the
+// classic three-epoch scheme:
+//
+//   - Each thread (worker) registers a Participant. Around every
+//     access to the shared structure it Pins the participant, which
+//     publishes the global epoch it observed; Unpin clears it.
+//   - Retired objects are tagged with the epoch at retirement.
+//   - The global epoch can advance from e to e+1 only when every
+//     pinned participant has observed e. Objects retired in epoch e
+//     are safe to recycle once the global epoch reaches e+2, because
+//     any thread still inside the structure must have pinned at e or
+//     later and thus cannot hold a reference from before e.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// status bit layout for Participant.state: bit 0 is the "pinned" flag,
+// the remaining bits hold the epoch observed at pin time.
+const pinnedBit = 1
+
+// Collector coordinates a set of participants and a retirement list.
+type Collector struct {
+	global atomic.Uint64
+
+	mu           sync.Mutex
+	participants []*Participant
+
+	// retired[e % 3] holds callbacks retired during epoch e. A slot is
+	// drained when the global epoch has advanced two steps past e.
+	retired [3]retireList
+}
+
+type retireList struct {
+	mu    sync.Mutex
+	epoch uint64
+	fns   []func()
+}
+
+// NewCollector returns an empty collector at epoch 0.
+func NewCollector() *Collector {
+	return &Collector{}
+}
+
+// Register adds a participant for one thread/worker. Participants are
+// never unregistered in this implementation (workers live for the
+// runtime's lifetime); a permanently unpinned participant does not
+// block epoch advancement.
+func (c *Collector) Register() *Participant {
+	p := &Participant{c: c}
+	c.mu.Lock()
+	c.participants = append(c.participants, p)
+	c.mu.Unlock()
+	return p
+}
+
+// Participant is one thread's handle into the collector. Pin/Unpin are
+// cheap (one atomic store each) and must bracket every traversal of
+// the protected structure. A Participant must not be shared between
+// goroutines.
+type Participant struct {
+	c     *Collector
+	state atomic.Uint64
+	// pinCount counts nested pins so that helper code can pin
+	// defensively without tracking whether a caller already did.
+	pinCount int
+}
+
+// Pin publishes that this participant is inside the protected
+// structure at the current global epoch. Nested pins are counted.
+func (p *Participant) Pin() {
+	p.pinCount++
+	if p.pinCount > 1 {
+		return
+	}
+	e := p.c.global.Load()
+	p.state.Store(e<<1 | pinnedBit)
+}
+
+// Unpin marks the participant as outside the structure.
+func (p *Participant) Unpin() {
+	if p.pinCount == 0 {
+		panic("epoch: Unpin without Pin")
+	}
+	p.pinCount--
+	if p.pinCount == 0 {
+		p.state.Store(0)
+	}
+}
+
+// Retire schedules fn to run (typically recycling an object into a
+// free pool) once no participant can still reference the object. The
+// caller should be pinned while retiring, which guarantees the object
+// was reachable no earlier than the pinned epoch.
+func (c *Collector) Retire(fn func()) {
+	e := c.global.Load()
+	slot := &c.retired[e%3]
+	slot.mu.Lock()
+	if slot.epoch != e && len(slot.fns) > 0 {
+		// The slot still holds callbacks from epoch e-3; that can only
+		// happen if Collect hasn't run for three epochs, which the
+		// advance protocol prevents (Collect drains before reuse). Be
+		// defensive: run them now, they are long safe.
+		for _, f := range slot.fns {
+			f()
+		}
+		slot.fns = slot.fns[:0]
+	}
+	slot.epoch = e
+	slot.fns = append(slot.fns, fn)
+	slot.mu.Unlock()
+}
+
+// Collect attempts to advance the global epoch and drain any
+// retirement lists that have become safe. It is called opportunistically
+// (e.g. by a queue when it retires a segment). Returns the number of
+// callbacks run.
+func (c *Collector) Collect() int {
+	e := c.global.Load()
+
+	// The epoch may advance only if every pinned participant has
+	// observed the current epoch.
+	c.mu.Lock()
+	ok := true
+	for _, p := range c.participants {
+		s := p.state.Load()
+		if s&pinnedBit != 0 && s>>1 != e {
+			ok = false
+			break
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	// Single advancer wins; losers simply retry on a later Collect.
+	if !c.global.CompareAndSwap(e, e+1) {
+		return 0
+	}
+
+	// Epoch is now e+1. Lists retired in epoch e-1 (slot (e-1)%3 ==
+	// (e+2)%3) are two advances old and safe to drain.
+	if e == 0 {
+		return 0 // nothing can be two epochs old yet
+	}
+	safeEpoch := e - 1
+	slot := &c.retired[safeEpoch%3]
+	slot.mu.Lock()
+	var fns []func()
+	if slot.epoch == safeEpoch {
+		fns = slot.fns
+		slot.fns = nil
+	}
+	slot.mu.Unlock()
+	for _, f := range fns {
+		f()
+	}
+	return len(fns)
+}
+
+// Epoch returns the current global epoch (for tests and diagnostics).
+func (c *Collector) Epoch() uint64 { return c.global.Load() }

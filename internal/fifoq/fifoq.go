@@ -1,0 +1,374 @@
+// Package fifoq implements the concurrent non-blocking FIFO queue that
+// Prompt I-Cilk uses as its centralized per-priority deque pool
+// (Section 4 of the paper):
+//
+//	"this deque pool is implemented using an efficient concurrent
+//	 non-blocking FIFO queue. The queue utilizes fetch-and-add to
+//	 implement fast insert (at the tail) and removal (from the head).
+//	 It is organized as an array of arrays to allow for concurrent
+//	 accesses while resizing. It uses the standard epoch-based
+//	 reclamation technique to ensure that no workers are still
+//	 referencing the old arrays before recycling them."
+//
+// The implementation follows the fetch-and-add ticket design of
+// infinite-array queues (in the lineage of LCRQ): enqueuers claim a
+// ticket with FAA on the tail counter and publish their element into
+// the addressed cell; dequeuers claim tickets with FAA on the head
+// counter and either consume the cell or, if they overran the tail,
+// poison it so the enqueue that later lands there retries. The
+// "infinite array" is realized as a directory (array) of fixed-size
+// segments (arrays); the directory grows by copy-and-swap and is
+// compacted as leading segments become fully consumed. Retired
+// directories and segments are recycled through epoch-based
+// reclamation, so a worker still traversing an old directory can never
+// observe a segment that has been handed back to the free pool and
+// overwritten.
+package fifoq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"icilk/internal/epoch"
+)
+
+// SegSize is the number of cells per segment. Small enough that unit
+// tests exercise directory growth and compaction, large enough that
+// FAA-ticket traffic dominates segment management in benchmarks.
+const SegSize = 64
+
+// cell states.
+const (
+	cellEmpty    = 0
+	cellFull     = 1
+	cellPoisoned = 2
+)
+
+type cell[T any] struct {
+	state atomic.Uint32
+	val   T
+}
+
+type segment[T any] struct {
+	id    uint64
+	cells [SegSize]cell[T]
+	// consumed counts cells that have been taken or poisoned; when it
+	// reaches SegSize the segment is dead and may be compacted away.
+	consumed atomic.Uint32
+}
+
+// directory is the "array of arrays": a window of segments starting at
+// segment id base. It is immutable except for the lazily-filled
+// segment pointers; growth and compaction replace the whole directory.
+type directory[T any] struct {
+	base uint64
+	segs []atomic.Pointer[segment[T]]
+}
+
+// Queue is a multi-producer multi-consumer FIFO of T values. All
+// methods require the caller's epoch participant so traversals are
+// protected against directory/segment recycling.
+type Queue[T any] struct {
+	head atomic.Uint64 // next dequeue ticket
+	tail atomic.Uint64 // next enqueue ticket
+	dir  atomic.Pointer[directory[T]]
+
+	col *epoch.Collector
+
+	// free pools recycle retired segments and directory backing
+	// arrays. Access is mutex-protected; recycling is off the fast
+	// path (once per SegSize operations at most).
+	poolMu   sync.Mutex
+	segPool  []*segment[T]
+	recycled atomic.Int64 // number of segments recycled (diagnostics)
+
+	// grower serializes directory replacement. Replacement is rare
+	// (growth or compaction); a mutex here keeps the copy loop simple
+	// while the hot enqueue/dequeue path stays lock-free.
+	growMu sync.Mutex
+}
+
+// New creates an empty queue whose reclamation is coordinated by col.
+// Multiple queues may share one collector (the scheduler shares one
+// per runtime so a worker pin covers every queue it touches).
+func New[T any](col *epoch.Collector) *Queue[T] {
+	q := &Queue[T]{col: col}
+	d := &directory[T]{base: 0, segs: make([]atomic.Pointer[segment[T]], 4)}
+	seg := &segment[T]{id: 0}
+	d.segs[0].Store(seg)
+	q.dir.Store(d)
+	return q
+}
+
+// Collector returns the epoch collector this queue uses.
+func (q *Queue[T]) Collector() *epoch.Collector { return q.col }
+
+// allocSegment takes a segment from the free pool or allocates one.
+func (q *Queue[T]) allocSegment(id uint64) *segment[T] {
+	q.poolMu.Lock()
+	var s *segment[T]
+	if n := len(q.segPool); n > 0 {
+		s = q.segPool[n-1]
+		q.segPool = q.segPool[:n-1]
+	}
+	q.poolMu.Unlock()
+	if s == nil {
+		s = &segment[T]{}
+	} else {
+		// Scrub recycled state. Safe: epoch reclamation guarantees no
+		// concurrent reader of this segment remains.
+		var zero T
+		for i := range s.cells {
+			s.cells[i].state.Store(cellEmpty)
+			s.cells[i].val = zero
+		}
+		s.consumed.Store(0)
+	}
+	s.id = id
+	return s
+}
+
+// recycleSegment returns a segment to the free pool. Must only be
+// called from an epoch-retire callback.
+func (q *Queue[T]) recycleSegment(s *segment[T]) {
+	q.poolMu.Lock()
+	if len(q.segPool) < 16 { // bound pool growth
+		q.segPool = append(q.segPool, s)
+	}
+	q.poolMu.Unlock()
+	q.recycled.Add(1)
+}
+
+// Recycled reports how many segments have been recycled through the
+// epoch mechanism (test/diagnostic hook).
+func (q *Queue[T]) Recycled() int64 { return q.recycled.Load() }
+
+// findSegment returns the segment holding ticket, growing the
+// directory if the ticket lies beyond the current window. The caller
+// must be pinned.
+func (q *Queue[T]) findSegment(ticket uint64) *segment[T] {
+	segID := ticket / SegSize
+	for {
+		d := q.dir.Load()
+		if segID < d.base {
+			// The segment was compacted away, which is only possible
+			// if every cell in it was consumed or poisoned. The one
+			// reachable case is an enqueuer whose freshly-claimed
+			// ticket was poisoned by an overrunning dequeuer before
+			// the enqueuer even located the segment; returning nil
+			// tells Enqueue to retry with a new ticket. A dequeuer
+			// can never land here: only the owner of a dequeue ticket
+			// consumes or poisons its cell, so its segment stays live
+			// until it acts.
+			return nil
+		}
+		idx := segID - d.base
+		if idx >= uint64(len(d.segs)) {
+			q.grow(d, segID)
+			continue
+		}
+		if s := d.segs[idx].Load(); s != nil {
+			return s
+		}
+		// Lazily create the segment.
+		s := q.allocSegment(segID)
+		if d.segs[idx].CompareAndSwap(nil, s) {
+			return s
+		}
+		// Lost the race; recycle our allocation immediately (it was
+		// never published, so no epoch delay is needed).
+		q.poolMu.Lock()
+		if len(q.segPool) < 16 {
+			q.segPool = append(q.segPool, s)
+		}
+		q.poolMu.Unlock()
+	}
+}
+
+// grow replaces directory d with a larger one covering segID, also
+// compacting away fully-consumed leading segments. Callers must be
+// pinned; the replaced directory and dead segments are retired through
+// the collector.
+func (q *Queue[T]) grow(d *directory[T], segID uint64) {
+	q.growMu.Lock()
+	defer q.growMu.Unlock()
+	cur := q.dir.Load()
+	if cur != d {
+		return // someone else already replaced it
+	}
+	q.replaceDirectory(cur, segID)
+}
+
+// Compact opportunistically drops fully-consumed leading segments.
+// Called by dequeuers when they finish a segment.
+func (q *Queue[T]) compact() {
+	q.growMu.Lock()
+	defer q.growMu.Unlock()
+	cur := q.dir.Load()
+	// Only bother when there is a dead prefix.
+	s := cur.segs[0].Load()
+	if s == nil || s.consumed.Load() != SegSize {
+		return
+	}
+	maxID := cur.base + uint64(len(cur.segs)) - 1
+	q.replaceDirectory(cur, maxID)
+}
+
+// replaceDirectory builds and installs a new directory window that
+// drops the fully-consumed prefix of cur and covers needSegID. The
+// grow mutex must be held.
+func (q *Queue[T]) replaceDirectory(cur *directory[T], needSegID uint64) {
+	// Count the dead prefix.
+	dead := 0
+	for dead < len(cur.segs) {
+		s := cur.segs[dead].Load()
+		if s == nil || s.consumed.Load() != SegSize {
+			break
+		}
+		dead++
+	}
+	newBase := cur.base + uint64(dead)
+	liveLen := len(cur.segs) - dead
+	if needSegID < newBase {
+		// Every segment in the window (including the one that
+		// triggered this call) is dead; keep a minimal window anchored
+		// just past the dead prefix.
+		needSegID = newBase
+	}
+	need := int(needSegID-newBase) + 1
+	size := len(cur.segs)
+	for size < need || size < liveLen {
+		size *= 2
+	}
+	if dead > 0 && need <= size/2 && size > 4 && liveLen <= size/2 {
+		// Shrink opportunity after compaction; keep at least 4.
+		for size/2 >= need && size/2 >= liveLen && size/2 >= 4 {
+			size /= 2
+		}
+	}
+	nd := &directory[T]{base: newBase, segs: make([]atomic.Pointer[segment[T]], size)}
+	for i := 0; i < liveLen; i++ {
+		nd.segs[i].Store(cur.segs[dead+i].Load())
+	}
+	q.dir.Store(nd)
+
+	// Retire the dead segments and the old directory through the
+	// epoch collector: they may still be referenced by concurrently
+	// pinned readers of the old directory.
+	for i := 0; i < dead; i++ {
+		s := cur.segs[i].Load()
+		q.col.Retire(func() { q.recycleSegment(s) })
+	}
+	// The old directory's backing array needs no recycling (GC frees
+	// it), but running a Retire keeps the epoch advancing under load.
+	q.col.Retire(func() {})
+	q.col.Collect()
+}
+
+// Enqueue appends v at the tail. p is the caller's epoch participant.
+func (q *Queue[T]) Enqueue(p *epoch.Participant, v T) {
+	p.Pin()
+	defer p.Unpin()
+	for {
+		t := q.tail.Add(1) - 1
+		seg := q.findSegment(t)
+		if seg == nil {
+			// Ticket poisoned and its segment already compacted away;
+			// retry with a fresh ticket.
+			continue
+		}
+		c := &seg.cells[t%SegSize]
+		c.val = v
+		if c.state.CompareAndSwap(cellEmpty, cellFull) {
+			return
+		}
+		// Poisoned by a dequeuer that overran the tail: clear our
+		// tentative write and retry with a fresh ticket. The poisoner
+		// already counted this cell as consumed.
+		var zero T
+		c.val = zero
+	}
+}
+
+// noteConsumed bumps a segment's consumed count and triggers
+// compaction when the segment dies.
+func (q *Queue[T]) noteConsumed(seg *segment[T]) {
+	if seg.consumed.Add(1) == SegSize {
+		q.compact()
+	}
+}
+
+// Dequeue removes and returns the element at the head. ok is false if
+// the queue appeared empty. p is the caller's epoch participant.
+func (q *Queue[T]) Dequeue(p *epoch.Participant) (v T, ok bool) {
+	p.Pin()
+	defer p.Unpin()
+	for {
+		if q.head.Load() >= q.tail.Load() {
+			var zero T
+			return zero, false
+		}
+		h := q.head.Add(1) - 1
+		seg := q.findSegment(h)
+		if seg == nil {
+			// Unreachable (see findSegment): a dequeue ticket's
+			// segment cannot be compacted before its owner acts.
+			panic("fifoq: dequeue ticket addresses a compacted segment")
+		}
+		c := &seg.cells[h%SegSize]
+		if h < q.tail.Load() {
+			// An enqueuer owns this ticket and will fill the cell; it
+			// may not have done so yet. Wait briefly — the window is
+			// the few instructions between the enqueuer's FAA and its
+			// CAS. On a single-CPU host we must yield, not spin.
+			for spins := 0; ; spins++ {
+				st := c.state.Load()
+				if st == cellFull {
+					val := c.val
+					var zero T
+					c.val = zero
+					q.noteConsumed(seg)
+					return val, true
+				}
+				if st == cellPoisoned {
+					// Impossible: only this dequeuer could poison h.
+					panic("fifoq: foreign poison on owned ticket")
+				}
+				if spins > 8 {
+					runtime.Gosched()
+				}
+			}
+		}
+		// We overran the tail: try to poison the cell so the eventual
+		// enqueuer of ticket h retries elsewhere. If the enqueuer beat
+		// us to it, consume its value.
+		if c.state.CompareAndSwap(cellEmpty, cellPoisoned) {
+			q.noteConsumed(seg)
+			continue // ticket burned; re-check emptiness
+		}
+		val := c.val
+		var zero T
+		c.val = zero
+		q.noteConsumed(seg)
+		return val, true
+	}
+}
+
+// Len returns an instantaneous (racy) size estimate: the number of
+// enqueue tickets not yet matched by dequeue tickets. It can
+// transiently exceed the true element count while operations are in
+// flight, which is exactly the semantics the bitfield double-check
+// protocol needs (it must never report empty while an element is
+// present).
+func (q *Queue[T]) Len() int {
+	h := q.head.Load()
+	t := q.tail.Load()
+	if t <= h {
+		return 0
+	}
+	return int(t - h)
+}
+
+// Empty reports whether the queue appears empty.
+func (q *Queue[T]) Empty() bool { return q.Len() == 0 }

@@ -1,0 +1,80 @@
+// Package iopool implements the I/O handling threads of the I-Cilk
+// runtimes. The paper's experimental setup creates "4 worker threads
+// plus 4 I/O handling threads (which is based on the design of the
+// prior work on handling I/O futures [40])": I/O completions are not
+// processed inline by whoever detects them, but funneled through a
+// small pool of dedicated handler threads.
+//
+// Two properties matter for the reproduction:
+//
+//  1. Completions are processed in arrival (FIFO) order across all
+//     connections — this ordering is what the schedulers see when
+//     deques become resumable, and is the substrate of the aging
+//     heuristic.
+//  2. Completion work (making a deque resumable, re-enqueueing it)
+//     happens off the worker threads, as in the reference design.
+package iopool
+
+import "sync"
+
+// Pool is a fixed set of I/O handler goroutines draining a FIFO of
+// completion callbacks.
+type Pool struct {
+	ch chan func()
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New starts a pool with the given number of handler threads (the
+// paper uses 4) and queue capacity bound. A zero or negative threads
+// count defaults to 4.
+func New(threads int) *Pool {
+	if threads <= 0 {
+		threads = 4
+	}
+	p := &Pool{ch: make(chan func(), 4096)}
+	for i := 0; i < threads; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.ch {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a completion callback. Callbacks run in FIFO order
+// (with up to `threads` in flight at once). Submit blocks if the
+// queue is full — natural backpressure on completion storms. Submit
+// after Close is a silent no-op (late completions during shutdown are
+// dropped).
+func (p *Pool) Submit(fn func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	// Hold the lock across the send so Close cannot close the channel
+	// between the check and the send. Sends only block when the queue
+	// is full, in which case submitters throttle together.
+	p.ch <- fn
+	p.mu.Unlock()
+}
+
+// Close stops accepting work, drains the queue, and waits for the
+// handler threads to exit.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.ch)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

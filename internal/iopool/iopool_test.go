@@ -1,0 +1,96 @@
+package iopool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAllSubmittedRun(t *testing.T) {
+	p := New(4)
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	const n = 1000
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.Submit(func() {
+			count.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	p.Close()
+	if count.Load() != n {
+		t.Fatalf("ran %d of %d", count.Load(), n)
+	}
+}
+
+func TestFIFOOrderSingleThread(t *testing.T) {
+	p := New(1) // one thread: strict FIFO observable
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	const n = 100
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	p.Close()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; FIFO violated", i, v)
+		}
+	}
+}
+
+func TestSubmitAfterCloseIsNoop(t *testing.T) {
+	p := New(2)
+	p.Close()
+	ran := false
+	p.Submit(func() { ran = true })
+	time.Sleep(2 * time.Millisecond)
+	if ran {
+		t.Fatal("callback ran after Close")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(2)
+	p.Close()
+	p.Close()
+}
+
+func TestCloseDrains(t *testing.T) {
+	p := New(1)
+	var count atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Submit(func() {
+			time.Sleep(100 * time.Microsecond)
+			count.Add(1)
+		})
+	}
+	p.Close() // must wait for all queued callbacks
+	if count.Load() != 50 {
+		t.Fatalf("Close returned with %d of 50 run", count.Load())
+	}
+}
+
+func TestDefaultThreads(t *testing.T) {
+	p := New(0)
+	done := make(chan struct{})
+	p.Submit(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("default-sized pool did not run work")
+	}
+	p.Close()
+}

@@ -1,0 +1,141 @@
+package jobserver
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"icilk"
+	"icilk/internal/xrand"
+)
+
+func newRT(t *testing.T, pol icilk.Scheduler) *icilk.Runtime {
+	t.Helper()
+	rt, err := icilk.New(icilk.Config{Workers: 4, Levels: Levels, Scheduler: pol,
+		Adaptive: icilk.AdaptiveParams{Quantum: time.Millisecond, Delta: 0.5, Rho: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestMMMatchesSequential(t *testing.T) {
+	rt := newRT(t, icilk.Prompt)
+	const n = 32
+	a, b := randomMatrix(n, 1), randomMatrix(n, 2)
+	got := rt.Run(func(task *icilk.Task) any { return MM(task, a, b, n) }).([]float64)
+
+	// Sequential reference.
+	want := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				want[i*n+j] += a[i*n+k] * b[k*n+j]
+			}
+		}
+	}
+	for i := range want {
+		d := got[i] - want[i]
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("C[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFibMatchesSequential(t *testing.T) {
+	rt := newRT(t, icilk.Prompt)
+	got := rt.Run(func(task *icilk.Task) any { return Fib(task, 20) }).(int64)
+	if got != 6765 {
+		t.Fatalf("fib(20) = %d", got)
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	rt := newRT(t, icilk.Prompt)
+	xs := randomInts(10000, 3)
+	want := append([]int64(nil), xs...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	rt.Run(func(task *icilk.Task) any { Sort(task, xs); return nil })
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("xs[%d] = %d, want %d", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestSWMatchesSequential(t *testing.T) {
+	rt := newRT(t, icilk.Prompt)
+	rng := xrand.New(9)
+	for trial := 0; trial < 5; trial++ {
+		n := 40 + rng.Intn(100)
+		p, q := randomSeq(n, uint64(trial)), randomSeq(n+13, uint64(trial)+100)
+		got := rt.Run(func(task *icilk.Task) any { return SW(task, p, q) }).(int)
+		want := SWSeq(p, q)
+		if got != want {
+			t.Fatalf("SW = %d, want %d (trial %d, n %d)", got, want, trial, n)
+		}
+	}
+}
+
+func TestSWKnownAlignment(t *testing.T) {
+	// Identical sequences: score = length (all matches).
+	rt := newRT(t, icilk.Prompt)
+	p := []byte("ACGTACGTACGT")
+	got := rt.Run(func(task *icilk.Task) any { return SW(task, p, p) }).(int)
+	if got != len(p) {
+		t.Fatalf("self-alignment = %d, want %d", got, len(p))
+	}
+	// Completely disjoint alphabets: best local score is 0.
+	q := []byte("TTTT")
+	r := []byte("CCCC")
+	got = rt.Run(func(task *icilk.Task) any { return SW(task, q, r) }).(int)
+	if got != 0 {
+		t.Fatalf("disjoint alignment = %d, want 0", got)
+	}
+}
+
+func TestServerAllClassesAllPolicies(t *testing.T) {
+	for _, pol := range []icilk.Scheduler{icilk.Prompt, icilk.Adaptive, icilk.AdaptiveAging, icilk.AdaptiveGreedy} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			rt := newRT(t, pol)
+			srv, err := New(rt, Config{MMSize: 16, FibN: 16, SortSize: 2048, SWSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			futs := make([]*icilk.Future, 0, 8)
+			for class := 0; class < 4; class++ {
+				for rep := 0; rep < 2; rep++ {
+					futs = append(futs, srv.Do(class, int64(class*10+rep)))
+				}
+			}
+			for i, f := range futs {
+				if v := f.Wait(); v == nil {
+					t.Fatalf("job %d returned nil", i)
+				}
+			}
+		})
+	}
+}
+
+func TestJobDeterminism(t *testing.T) {
+	rt := newRT(t, icilk.Prompt)
+	srv, _ := New(rt, Config{MMSize: 16, FibN: 15, SortSize: 2048, SWSize: 64})
+	a := srv.Do(2, 42).Wait().(int64)
+	b := srv.Do(2, 42).Wait().(int64)
+	if a != b {
+		t.Fatalf("same-seed sort jobs returned %d and %d", a, b)
+	}
+}
+
+func TestLevelsInsufficient(t *testing.T) {
+	rt, err := icilk.New(icilk.Config{Workers: 1, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := New(rt, DefaultConfig()); err == nil {
+		t.Fatal("New accepted a runtime with too few levels")
+	}
+}

@@ -1,0 +1,277 @@
+// Package jobserver reimplements the job-server benchmark of the
+// paper's Section 5: a server performing shortest-job-first
+// scheduling, where shorter job classes get higher priorities. The
+// four job classes, highest to lowest priority:
+//
+//	mm   (level 0) — blocked matrix multiplication
+//	fib  (level 1) — naive Fibonacci spawn tree
+//	sort (level 2) — parallel mergesort
+//	sw   (level 3) — Smith-Waterman sequence alignment (wavefront)
+//
+// Unlike Memcached and the email server, every request is a genuinely
+// parallel task-parallel job ("the job server contains more
+// parallelism — each job instance created by the server is a
+// traditional task-parallel job"), which exercises intra-job
+// spawn/sync under priority scheduling.
+package jobserver
+
+import "icilk"
+
+// Priority levels (SJF order).
+const (
+	LevelMM   = 0
+	LevelFib  = 1
+	LevelSort = 2
+	LevelSW   = 3
+	// Levels is the number of priority levels the server needs.
+	Levels = 4
+)
+
+// OpNames lists the job classes in priority order (Figure 4 labels).
+var OpNames = []string{"mm", "fib", "sort", "sw"}
+
+// ---- mm: blocked matrix multiplication -----------------------------
+
+// MM multiplies two n×n matrices with 2×2 recursive decomposition,
+// spawning quadrant subproblems above the base-case threshold.
+func MM(t *icilk.Task, a, b []float64, n int) []float64 {
+	c := make([]float64, n*n)
+	mmRec(t, a, b, c, n, 0, 0, 0, 0, 0, 0, n)
+	return c
+}
+
+const mmBase = 16
+
+// mmRec computes C[ci..ci+m, cj..cj+m] += A[ai.., aj..] * B[bi.., bj..]
+// over m×m blocks of row-major n×n matrices.
+func mmRec(t *icilk.Task, a, b, c []float64, n, ai, aj, bi, bj, ci, cj, m int) {
+	if m <= mmBase {
+		for i := 0; i < m; i++ {
+			for k := 0; k < m; k++ {
+				av := a[(ai+i)*n+aj+k]
+				row := (ci+i)*n + cj
+				brow := (bi+k)*n + bj
+				for j := 0; j < m; j++ {
+					c[row+j] += av * b[brow+j]
+				}
+			}
+		}
+		return
+	}
+	h := m / 2
+	// First half-products of the four quadrants in parallel…
+	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai, aj, bi, bj, ci, cj, h) })
+	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai, aj, bi, bj+h, ci, cj+h, h) })
+	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai+h, aj, bi, bj, ci+h, cj, h) })
+	mmRec(t, a, b, c, n, ai+h, aj, bi, bj+h, ci+h, cj+h, h)
+	t.Sync()
+	// …then the second half-products (they accumulate into the same
+	// quadrants, so the two rounds are separated by the sync).
+	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai, aj+h, bi+h, bj, ci, cj, h) })
+	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai, aj+h, bi+h, bj+h, ci, cj+h, h) })
+	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai+h, aj+h, bi+h, bj, ci+h, cj, h) })
+	mmRec(t, a, b, c, n, ai+h, aj+h, bi+h, bj+h, ci+h, cj+h, h)
+	t.Sync()
+}
+
+// ---- fib: spawn tree ------------------------------------------------
+
+const fibBase = 12
+
+// Fib computes Fibonacci numbers with a spawn tree, sequential below
+// fibBase.
+func Fib(t *icilk.Task, n int) int64 {
+	if n < fibBase {
+		return fibSeq(n)
+	}
+	var a int64
+	t.Spawn(func(ct *icilk.Task) { a = Fib(ct, n-1) })
+	b := Fib(t, n-2)
+	t.Sync()
+	return a + b
+}
+
+func fibSeq(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+// ---- sort: parallel mergesort ---------------------------------------
+
+const sortBase = 512
+
+// Sort sorts xs in place with parallel mergesort (parallel recursion,
+// sequential merge).
+func Sort(t *icilk.Task, xs []int64) {
+	tmp := make([]int64, len(xs))
+	mergesort(t, xs, tmp)
+}
+
+func mergesort(t *icilk.Task, xs, tmp []int64) {
+	if len(xs) <= sortBase {
+		insertionSort(xs)
+		return
+	}
+	mid := len(xs) / 2
+	t.Spawn(func(ct *icilk.Task) { mergesort(ct, xs[:mid], tmp[:mid]) })
+	mergesort(t, xs[mid:], tmp[mid:])
+	t.Sync()
+	merge(xs, mid, tmp)
+}
+
+func insertionSort(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+func merge(xs []int64, mid int, tmp []int64) {
+	copy(tmp, xs)
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(xs) {
+		if tmp[i] <= tmp[j] {
+			xs[k] = tmp[i]
+			i++
+		} else {
+			xs[k] = tmp[j]
+			j++
+		}
+		k++
+	}
+	for i < mid {
+		xs[k] = tmp[i]
+		i++
+		k++
+	}
+	for j < len(xs) {
+		xs[k] = tmp[j]
+		j++
+		k++
+	}
+}
+
+// ---- sw: Smith-Waterman wavefront -----------------------------------
+
+// swTile is the blocking factor of the DP matrix.
+const swTile = 32
+
+// SW computes the Smith-Waterman local-alignment score of byte
+// sequences p and q with unit match/mismatch/gap scores, using
+// anti-diagonal wavefront parallelism over tiles: all tiles on an
+// anti-diagonal are independent and spawned together; diagonals are
+// separated by syncs.
+func SW(t *icilk.Task, p, q []byte) int {
+	m, n := len(p), len(q)
+	// DP matrix with an extra zero row/column.
+	h := make([]int32, (m+1)*(n+1))
+	stride := n + 1
+
+	tilesI := (m + swTile - 1) / swTile
+	tilesJ := (n + swTile - 1) / swTile
+	var best int32
+
+	for diag := 0; diag < tilesI+tilesJ-1; diag++ {
+		lo := diag - tilesJ + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := diag
+		if hi > tilesI-1 {
+			hi = tilesI - 1
+		}
+		results := make([]int32, hi-lo+1)
+		for ti := lo; ti < hi; ti++ {
+			ti := ti
+			idx := ti - lo
+			t.Spawn(func(ct *icilk.Task) {
+				results[idx] = swTileCompute(p, q, h, stride, ti, diag-ti)
+			})
+		}
+		results[hi-lo] = swTileCompute(p, q, h, stride, hi, diag-hi)
+		t.Sync()
+		for _, r := range results {
+			if r > best {
+				best = r
+			}
+		}
+	}
+	return int(best)
+}
+
+// swTileCompute fills one tile of the DP matrix and returns its max.
+func swTileCompute(p, q []byte, h []int32, stride, ti, tj int) int32 {
+	iStart, jStart := ti*swTile+1, tj*swTile+1
+	iEnd, jEnd := iStart+swTile, jStart+swTile
+	if iEnd > len(p)+1 {
+		iEnd = len(p) + 1
+	}
+	if jEnd > len(q)+1 {
+		jEnd = len(q) + 1
+	}
+	var best int32
+	for i := iStart; i < iEnd; i++ {
+		pi := p[i-1]
+		row := i * stride
+		prow := (i - 1) * stride
+		for j := jStart; j < jEnd; j++ {
+			var match int32 = -1
+			if pi == q[j-1] {
+				match = 1
+			}
+			v := h[prow+j-1] + match
+			if up := h[prow+j] - 1; up > v {
+				v = up
+			}
+			if left := h[row+j-1] - 1; left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			h[row+j] = v
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// SWSeq is the sequential reference implementation (tests).
+func SWSeq(p, q []byte) int {
+	m, n := len(p), len(q)
+	h := make([]int32, (m+1)*(n+1))
+	stride := n + 1
+	var best int32
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			var match int32 = -1
+			if p[i-1] == q[j-1] {
+				match = 1
+			}
+			v := h[(i-1)*stride+j-1] + match
+			if up := h[(i-1)*stride+j] - 1; up > v {
+				v = up
+			}
+			if left := h[i*stride+j-1] - 1; left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			h[i*stride+j] = v
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return int(best)
+}

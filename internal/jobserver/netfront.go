@@ -1,0 +1,106 @@
+package jobserver
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"icilk"
+	"icilk/internal/netsim"
+)
+
+// Network frontend for the job server: clients submit jobs over
+// connections and receive the result checksum when the job completes.
+// The paper's job server likewise receives its requests from client
+// cores; the line protocol is:
+//
+//	RUN <class> <seed>\r\n  -> DONE <class> <seed> <result>\r\n
+//	                           (class: mm | fib | sort | sw)
+//	QUIT\r\n                -> closes
+//
+// Responses arrive in completion order, not submission order (jobs at
+// different priorities overtake each other — that is the point of the
+// SJF server); clients match them by the echoed class/seed pair. The
+// connection handler runs at the lowest priority level and waits for
+// job futures at their own (higher or equal) levels, so the dispatch
+// introduces no priority inversions.
+type NetFrontend struct {
+	srv *Server
+	rt  *icilk.Runtime
+}
+
+// NewNetFrontend wraps a server.
+func NewNetFrontend(srv *Server, rt *icilk.Runtime) *NetFrontend {
+	return &NetFrontend{srv: srv, rt: rt}
+}
+
+// classIndex maps protocol class names to the SJF class indices.
+var classIndex = map[string]int{"mm": 0, "fib": 1, "sort": 2, "sw": 3}
+
+// Serve accepts connections until the listener closes. It blocks; run
+// it on a goroutine.
+func (nf *NetFrontend) Serve(ln *netsim.Listener) {
+	for {
+		ep, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nf.rt.Submit(LevelSW, func(t *icilk.Task) any {
+			nf.handleConn(t, ep)
+			return nil
+		})
+	}
+}
+
+func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
+	defer ep.Close()
+	lr := nf.rt.NewLineReader(ep)
+	for {
+		line, err := lr.ReadLine(t)
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "RUN":
+			if len(fields) != 3 {
+				ep.WriteString("ERR usage: RUN <class> <seed>\r\n")
+				continue
+			}
+			class, ok := classIndex[strings.ToLower(fields[1])]
+			if !ok {
+				ep.WriteString("ERR unknown class (mm|fib|sort|sw)\r\n")
+				continue
+			}
+			seed, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				ep.WriteString("ERR bad seed\r\n")
+				continue
+			}
+			// Dispatch at the job's priority; reply when it finishes.
+			// The completion write happens on the job's own completion
+			// path (a future-routine chained at the job's level), so
+			// the handler keeps reading further pipelined requests —
+			// jobs from one connection run concurrently, as the SJF
+			// server requires.
+			f := nf.srv.Do(class, seed)
+			className := strings.ToLower(fields[1])
+			level := []int{LevelMM, LevelFib, LevelSort, LevelSW}[class]
+			nf.rt.Submit(level, func(ct *icilk.Task) any {
+				result := f.Get(ct)
+				fmt.Fprintf(ep, "DONE %s %d %v\r\n", className, seed, result)
+				return nil
+			})
+
+		case "QUIT":
+			ep.WriteString("OK\r\n")
+			return
+
+		default:
+			ep.WriteString("ERR unknown command\r\n")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package jobserver
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"icilk"
+	"icilk/internal/netsim"
+)
+
+func startJobFrontend(t *testing.T) (*netsim.Listener, func()) {
+	t.Helper()
+	rt, err := icilk.New(icilk.Config{Workers: 4, Levels: Levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(rt, Config{MMSize: 16, FibN: 14, SortSize: 1024, SWSize: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := NewNetFrontend(srv, rt)
+	ln := netsim.NewListener()
+	go nf.Serve(ln)
+	return ln, func() { ln.Close(); rt.Close() }
+}
+
+// readLines collects n lines from ep with a deadline.
+func readLines(t *testing.T, ep *netsim.Endpoint, n int) []string {
+	t.Helper()
+	var buf []byte
+	var lines []string
+	deadline := time.Now().Add(5 * time.Second)
+	for len(lines) < n {
+		for {
+			i := strings.IndexByte(string(buf), '\n')
+			if i < 0 {
+				break
+			}
+			lines = append(lines, strings.TrimRight(string(buf[:i]), "\r"))
+			buf = buf[i+1:]
+		}
+		if len(lines) >= n {
+			break
+		}
+		var chunk [512]byte
+		cn, err := ep.Read(chunk[:])
+		if err != nil {
+			t.Fatalf("read: %v (have %v)", err, lines)
+		}
+		buf = append(buf, chunk[:cn]...)
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: have %v", lines)
+		}
+	}
+	return lines
+}
+
+func TestJobFrontendRunsAllClasses(t *testing.T) {
+	ln, stop := startJobFrontend(t)
+	defer stop()
+	ep, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// Pipeline one job of each class; responses arrive in completion
+	// order, matched by the echoed class name.
+	for _, class := range OpNames {
+		fmt.Fprintf(ep, "RUN %s 42\r\n", class)
+	}
+	lines := readLines(t, ep, 4)
+	seen := map[string]bool{}
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		if len(fields) < 4 || fields[0] != "DONE" || fields[2] != "42" {
+			t.Fatalf("bad response %q", l)
+		}
+		seen[fields[1]] = true
+	}
+	for _, class := range OpNames {
+		if !seen[class] {
+			t.Fatalf("no response for %s (got %v)", class, lines)
+		}
+	}
+}
+
+func TestJobFrontendDeterministicResults(t *testing.T) {
+	ln, stop := startJobFrontend(t)
+	defer stop()
+	ep, _ := ln.Dial()
+	defer ep.Close()
+
+	ep.WriteString("RUN sort 7\r\nRUN sort 7\r\n")
+	lines := readLines(t, ep, 2)
+	if lines[0] != lines[1] {
+		t.Fatalf("same-seed jobs differ: %q vs %q", lines[0], lines[1])
+	}
+}
+
+func TestJobFrontendErrors(t *testing.T) {
+	ln, stop := startJobFrontend(t)
+	defer stop()
+	ep, _ := ln.Dial()
+	defer ep.Close()
+
+	cases := []string{"RUN\r\n", "RUN bogus 1\r\n", "RUN mm xyz\r\n", "NOPE\r\n"}
+	for _, c := range cases {
+		ep.WriteString(c)
+	}
+	for _, l := range readLines(t, ep, len(cases)) {
+		if !strings.HasPrefix(l, "ERR") {
+			t.Fatalf("expected error line, got %q", l)
+		}
+	}
+	ep.WriteString("QUIT\r\n")
+	if got := readLines(t, ep, 1); got[0] != "OK" {
+		t.Fatalf("QUIT -> %q", got[0])
+	}
+}

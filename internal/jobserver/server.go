@@ -1,0 +1,115 @@
+package jobserver
+
+import (
+	"fmt"
+
+	"icilk"
+	"icilk/internal/xrand"
+)
+
+// Config sizes the four job classes. The defaults are calibrated so
+// the classes' sequential runtimes are strictly increasing in SJF
+// order (mm < fib < sort < sw), scaled down from the paper's 20-core
+// testbed to run in the hundreds of microseconds to low milliseconds
+// on one CPU.
+type Config struct {
+	MMSize   int // matrix dimension (power of two)
+	FibN     int
+	SortSize int
+	SWSize   int // sequence length
+}
+
+// DefaultConfig returns the calibrated default sizes.
+func DefaultConfig() Config {
+	return Config{MMSize: 32, FibN: 21, SortSize: 16 << 10, SWSize: 192}
+}
+
+// Server submits the four parallel job classes at their SJF priority
+// levels.
+type Server struct {
+	rt  *icilk.Runtime
+	cfg Config
+}
+
+// New creates a job server over rt, which must have at least Levels
+// priority levels.
+func New(rt *icilk.Runtime, cfg Config) (*Server, error) {
+	if rt.Levels() < Levels {
+		return nil, fmt.Errorf("jobserver: runtime has %d levels, need %d", rt.Levels(), Levels)
+	}
+	if cfg.MMSize <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Server{rt: rt, cfg: cfg}, nil
+}
+
+// Do submits one job of the given class (0=mm, 1=fib, 2=sort, 3=sw)
+// with a deterministic input derived from seq, and returns its
+// future. The future resolves to a checksum of the job's result.
+func (s *Server) Do(class int, seq int64) *icilk.Future {
+	switch class {
+	case 0:
+		return s.rt.Submit(LevelMM, func(t *icilk.Task) any {
+			n := s.cfg.MMSize
+			a, b := randomMatrix(n, uint64(seq)), randomMatrix(n, uint64(seq)+1)
+			c := MM(t, a, b, n)
+			var sum float64
+			for _, v := range c {
+				sum += v
+			}
+			return sum
+		})
+	case 1:
+		return s.rt.Submit(LevelFib, func(t *icilk.Task) any {
+			return Fib(t, s.cfg.FibN)
+		})
+	case 2:
+		return s.rt.Submit(LevelSort, func(t *icilk.Task) any {
+			xs := randomInts(s.cfg.SortSize, uint64(seq))
+			Sort(t, xs)
+			// Checksum that also certifies sortedness.
+			var sum int64
+			for i := 1; i < len(xs); i++ {
+				if xs[i-1] > xs[i] {
+					panic("jobserver: sort produced unsorted output")
+				}
+				sum += xs[i] * int64(i%7)
+			}
+			return sum
+		})
+	default:
+		return s.rt.Submit(LevelSW, func(t *icilk.Task) any {
+			p := randomSeq(s.cfg.SWSize, uint64(seq))
+			q := randomSeq(s.cfg.SWSize, uint64(seq)+7)
+			return SW(t, p, q)
+		})
+	}
+}
+
+func randomMatrix(n int, seed uint64) []float64 {
+	r := xrand.New(seed)
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = r.Float64()
+	}
+	return m
+}
+
+func randomInts(n int, seed uint64) []int64 {
+	r := xrand.New(seed)
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = r.Int63()
+	}
+	return xs
+}
+
+func randomSeq(n int, seed uint64) []byte {
+	r := xrand.New(seed)
+	s := make([]byte, n)
+	const alphabet = "ACGT"
+	for i := range s {
+		s[i] = alphabet[r.Intn(4)]
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+// Package levent is a miniature libevent: per-thread event bases with
+// one-shot read events and a FIFO dispatch loop. It is the substrate
+// of the pthread-style Memcached baseline, reproducing the structure
+// the paper describes in Section 3:
+//
+//	"A worker thread time-multiplexes among multiple client
+//	 connections at any given time via an event loop ... a callback
+//	 function is registered with the libevent library for events
+//	 associated with that particular client connection."
+//
+// The dispatch loop consumes readiness events in arrival order, which
+// is exactly how the pthreaded implementation gets its implicit aging
+// heuristic: "As the I/O operations become ready, the OS detects the
+// available I/O events and returns them to libevent in the same
+// order."
+package levent
+
+import (
+	"sync"
+
+	"icilk/internal/netsim"
+)
+
+// Event is a registered one-shot read event. After it fires, the
+// callback must call Add again to keep listening (libevent's
+// non-persistent event semantics).
+type Event struct {
+	base *Base
+	ep   *netsim.Endpoint
+	cb   func(*Event)
+	// userdata is free for the callback's own state machine.
+	userdata any
+}
+
+// Endpoint returns the endpoint this event watches.
+func (e *Event) Endpoint() *netsim.Endpoint { return e.ep }
+
+// UserData returns the value attached with SetUserData.
+func (e *Event) UserData() any { return e.userdata }
+
+// SetUserData attaches caller state to the event.
+func (e *Event) SetUserData(v any) { e.userdata = v }
+
+// Add arms the event: when the endpoint becomes readable the event is
+// queued on its base's ready list and the callback runs on the base's
+// dispatch goroutine.
+func (e *Event) Add() {
+	e.ep.ArmRead(func() { e.base.push(e) })
+}
+
+// Reactivate re-queues the event at the tail of the ready list
+// without re-arming the endpoint. Callbacks use it to yield after
+// processing a batch of pipelined requests while input remains
+// buffered — the voluntary yield the paper describes ("up to some
+// threshold before the worker thread voluntarily 'yields' ... so as
+// to not starve other connections").
+func (e *Event) Reactivate() { e.base.push(e) }
+
+// Base is one event loop (one per worker thread in the pthread
+// model).
+type Base struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   []*Event // FIFO of fired events — the aging order
+	stopped bool
+}
+
+// NewBase returns an empty event base.
+func NewBase() *Base {
+	b := &Base{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// NewReadEvent creates (without arming) a read event for ep.
+func (b *Base) NewReadEvent(ep *netsim.Endpoint, cb func(*Event)) *Event {
+	return &Event{base: b, ep: ep, cb: cb}
+}
+
+// push queues a fired event; called from whatever goroutine performed
+// the write (or closed the stream).
+func (b *Base) push(e *Event) {
+	b.mu.Lock()
+	b.ready = append(b.ready, e)
+	b.cond.Signal()
+	b.mu.Unlock()
+}
+
+// Pending returns the number of fired-but-undispatched events.
+func (b *Base) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ready)
+}
+
+// Dispatch runs the event loop until Stop is called: it dequeues
+// fired events in FIFO order and invokes their callbacks on the
+// calling goroutine.
+func (b *Base) Dispatch() {
+	for {
+		b.mu.Lock()
+		for len(b.ready) == 0 && !b.stopped {
+			b.cond.Wait()
+		}
+		if b.stopped {
+			b.mu.Unlock()
+			return
+		}
+		e := b.ready[0]
+		b.ready[0] = nil
+		b.ready = b.ready[1:]
+		b.mu.Unlock()
+		e.cb(e)
+	}
+}
+
+// Stop terminates Dispatch after the current callback returns.
+func (b *Base) Stop() {
+	b.mu.Lock()
+	b.stopped = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,175 @@
+package levent
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"icilk/internal/netsim"
+)
+
+// startBase runs Dispatch on a goroutine and returns a stopper.
+func startBase(b *Base) func() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.Dispatch()
+	}()
+	return func() {
+		b.Stop()
+		wg.Wait()
+	}
+}
+
+func TestCallbackRunsOnWrite(t *testing.T) {
+	base := NewBase()
+	stop := startBase(base)
+	defer stop()
+
+	a, srv := netsim.Pipe()
+	got := make(chan string, 1)
+	ev := base.NewReadEvent(srv, func(e *Event) {
+		var buf [16]byte
+		n, _ := e.Endpoint().TryRead(buf[:])
+		got <- string(buf[:n])
+	})
+	ev.Add()
+	a.WriteString("event!")
+	select {
+	case s := <-got:
+		if s != "event!" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("callback never ran")
+	}
+}
+
+func TestFIFODispatchOrder(t *testing.T) {
+	base := NewBase()
+	// Don't start dispatch yet: queue several events, then check they
+	// run in arrival order.
+	const n = 8
+	var mu sync.Mutex
+	var order []int
+	var clients []*netsim.Endpoint
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		i := i
+		cli, srv := netsim.Pipe()
+		clients = append(clients, cli)
+		ev := base.NewReadEvent(srv, func(e *Event) {
+			mu.Lock()
+			order = append(order, i)
+			full := len(order) == n
+			mu.Unlock()
+			if full {
+				close(done)
+			}
+		})
+		ev.Add()
+	}
+	// Fire in a known order.
+	for i := 0; i < n; i++ {
+		clients[i].WriteString("x")
+	}
+	stop := startBase(base)
+	defer stop()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("not all callbacks ran")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("dispatch order %v not FIFO", order)
+		}
+	}
+}
+
+func TestReAddKeepsListening(t *testing.T) {
+	base := NewBase()
+	stop := startBase(base)
+	defer stop()
+
+	a, srv := netsim.Pipe()
+	hits := make(chan struct{}, 4)
+	var ev *Event
+	ev = base.NewReadEvent(srv, func(e *Event) {
+		var buf [16]byte
+		e.Endpoint().TryRead(buf[:])
+		hits <- struct{}{}
+		ev.Add() // persistent via re-add
+	})
+	ev.Add()
+	for i := 0; i < 3; i++ {
+		a.WriteString("x")
+		select {
+		case <-hits:
+		case <-time.After(time.Second):
+			t.Fatalf("callback %d never ran", i)
+		}
+	}
+}
+
+func TestReactivateRequeues(t *testing.T) {
+	base := NewBase()
+	a, srv := netsim.Pipe()
+	runs := make(chan int, 4)
+	count := 0
+	ev := base.NewReadEvent(srv, func(e *Event) {
+		count++
+		runs <- count
+		if count == 1 {
+			e.Reactivate() // simulate a voluntary yield
+		}
+	})
+	ev.SetUserData("state")
+	if ev.UserData().(string) != "state" {
+		t.Fatal("userdata lost")
+	}
+	ev.Add()
+	a.WriteString("x")
+	stop := startBase(base)
+	defer stop()
+	for i := 1; i <= 2; i++ {
+		select {
+		case got := <-runs:
+			if got != i {
+				t.Fatalf("run %d reported %d", i, got)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("reactivated callback run %d missing", i)
+		}
+	}
+}
+
+func TestStopTerminatesDispatch(t *testing.T) {
+	base := NewBase()
+	done := make(chan struct{})
+	go func() {
+		base.Dispatch()
+		close(done)
+	}()
+	time.Sleep(time.Millisecond)
+	base.Stop()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Dispatch did not stop")
+	}
+}
+
+func TestPending(t *testing.T) {
+	base := NewBase()
+	_, srv := netsim.Pipe()
+	ev := base.NewReadEvent(srv, func(*Event) {})
+	ev.Reactivate()
+	ev.Reactivate()
+	if base.Pending() != 2 {
+		t.Fatalf("pending = %d", base.Pending())
+	}
+}

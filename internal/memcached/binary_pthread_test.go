@@ -1,0 +1,134 @@
+package memcached
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"icilk/internal/netsim"
+)
+
+// readBinFrames accumulates stream bytes and parses n response frames.
+func readBinFrames(t *testing.T, ep *netsim.Endpoint, n int) []struct {
+	h    binHeader
+	body []byte
+} {
+	t.Helper()
+	var buf []byte
+	var out []struct {
+		h    binHeader
+		body []byte
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for len(out) < n {
+		for len(buf) >= 24 {
+			h := parseBinHeader(buf)
+			total := 24 + int(h.bodyLen)
+			if len(buf) < total {
+				break
+			}
+			body := make([]byte, h.bodyLen)
+			copy(body, buf[24:total])
+			buf = buf[total:]
+			out = append(out, struct {
+				h    binHeader
+				body []byte
+			}{h, body})
+		}
+		if len(out) >= n {
+			break
+		}
+		var chunk [1024]byte
+		cn, err := ep.Read(chunk[:])
+		if err != nil {
+			t.Fatalf("read: %v (have %d of %d frames)", err, len(out), n)
+		}
+		buf = append(buf, chunk[:cn]...)
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %d of %d frames", len(out), n)
+		}
+	}
+	return out
+}
+
+// TestBinaryProtocolOverPthreadServer drives the binary protocol
+// through the event-loop baseline, including a header split across
+// two writes (exercising the explicit state machine).
+func TestBinaryProtocolOverPthreadServer(t *testing.T) {
+	store := NewStore(StoreConfig{})
+	srv := NewPthreadServer(store, PthreadConfig{Workers: 2})
+	ln := netsim.NewListener()
+	go srv.Serve(ln)
+	defer func() { ln.Close(); srv.Close() }()
+
+	ep, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// SET split mid-header: first 10 bytes, then the rest.
+	set := binRequest(binOpSet, 11, 0, setExtras(0, 0), []byte("pk"), []byte("pv"))
+	ep.Write(set[:10])
+	time.Sleep(2 * time.Millisecond)
+	ep.Write(set[10:])
+	frames := readBinFrames(t, ep, 1)
+	if frames[0].h.status != binStatusOK || frames[0].h.opaque != 11 {
+		t.Fatalf("split set: %+v", frames[0].h)
+	}
+
+	// Pipelined GET + NOOP in one write.
+	var pipe []byte
+	pipe = append(pipe, binRequest(binOpGet, 12, 0, nil, []byte("pk"), nil)...)
+	pipe = append(pipe, binRequest(binOpNoop, 13, 0, nil, nil, nil)...)
+	ep.Write(pipe)
+	frames = readBinFrames(t, ep, 2)
+	if frames[0].h.opaque != 12 || string(frames[0].body[4:]) != "pv" {
+		t.Fatalf("get: %+v %q", frames[0].h, frames[0].body)
+	}
+	if frames[1].h.opaque != 13 || frames[1].h.status != binStatusOK {
+		t.Fatalf("noop: %+v", frames[1].h)
+	}
+}
+
+// TestTextAndBinaryConnectionsCoexist runs one connection of each
+// protocol against the same pthread server.
+func TestTextAndBinaryConnectionsCoexist(t *testing.T) {
+	store := NewStore(StoreConfig{})
+	srv := NewPthreadServer(store, PthreadConfig{Workers: 1})
+	ln := netsim.NewListener()
+	go srv.Serve(ln)
+	defer func() { ln.Close(); srv.Close() }()
+
+	// Text connection stores a key.
+	txt, _ := ln.Dial()
+	defer txt.Close()
+	txt.WriteString("set shared 0 0 4\r\nboth\r\n")
+	ls := &lineScanner{ep: txt}
+	if line, _ := ls.readLine(); line != "STORED" {
+		t.Fatalf("text set -> %q", line)
+	}
+
+	// Binary connection reads it back.
+	bin, _ := ln.Dial()
+	defer bin.Close()
+	bin.Write(binRequest(binOpGet, 1, 0, nil, []byte("shared"), nil))
+	frames := readBinFrames(t, bin, 1)
+	if frames[0].h.status != binStatusOK || string(frames[0].body[4:]) != "both" {
+		t.Fatalf("binary get: %+v %q", frames[0].h, frames[0].body)
+	}
+	// And increments a counter the text side then reads.
+	var ex [20]byte
+	binary.BigEndian.PutUint64(ex[0:], 5)
+	binary.BigEndian.PutUint64(ex[8:], 100)
+	bin.Write(binRequest(binOpIncr, 2, 0, ex[:], []byte("ctr"), nil))
+	readBinFrames(t, bin, 1)
+
+	txt.WriteString("get ctr\r\n")
+	if line, _ := ls.readLine(); line != "VALUE ctr 0 3" {
+		t.Fatalf("text get header -> %q", line)
+	}
+	if line, _ := ls.readLine(); line != "100" {
+		t.Fatalf("text get value -> %q", line)
+	}
+}

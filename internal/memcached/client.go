@@ -1,0 +1,270 @@
+package memcached
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icilk/internal/netsim"
+	"icilk/internal/stats"
+	"icilk/internal/xrand"
+)
+
+// WorkloadConfig parameterizes the load generator, following the
+// shape of the Memcached driver of Palit et al. that the paper uses:
+// a fixed number of client connections, open-loop Poisson arrivals at
+// a target aggregate RPS, Zipf-popular keys, and a get-heavy mix.
+type WorkloadConfig struct {
+	// Connections is the number of concurrent client connections
+	// (the paper fixes 600 while binary-searching RPS).
+	Connections int
+	// RPS is the aggregate target request rate.
+	RPS float64
+	// Duration is the measurement window.
+	Duration time.Duration
+	// KeySpace is the number of distinct keys (preloaded).
+	KeySpace int
+	// ValueSize is the value payload size in bytes.
+	ValueSize int
+	// GetFraction is the fraction of requests that are gets (the rest
+	// are sets). Default 0.9.
+	GetFraction float64
+	// ZipfS is the key-popularity skew (>1). Default 1.1.
+	ZipfS float64
+	// Seed makes the workload reproducible.
+	Seed uint64
+	// Warmup discards latency samples for requests scheduled within
+	// this span after start (the load still runs; only measurement is
+	// suppressed). Throughput counters include warmup traffic.
+	Warmup time.Duration
+}
+
+func (c *WorkloadConfig) applyDefaults() {
+	if c.Connections <= 0 {
+		c.Connections = 32
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 4096
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 64
+	}
+	if c.GetFraction <= 0 {
+		c.GetFraction = 0.9
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+}
+
+// KeyName formats the i-th key.
+func KeyName(i uint64) string { return fmt.Sprintf("key:%08d", i) }
+
+// Preload populates the store directly with the working set so the
+// measured run sees a warm cache.
+func Preload(s *Store, cfg WorkloadConfig) {
+	cfg.applyDefaults()
+	val := makeValue(cfg.ValueSize, 0)
+	for i := 0; i < cfg.KeySpace; i++ {
+		s.Set(ModeSet, KeyName(uint64(i)), val, 0, 0, 0)
+	}
+}
+
+// makeValue builds a deterministic payload.
+func makeValue(size int, salt byte) []byte {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = 'a' + (byte(i)+salt)%26
+	}
+	return v
+}
+
+// LoadResult is the measured outcome of a load run.
+type LoadResult struct {
+	Latency   *stats.Recorder
+	Sent      int64
+	Completed int64
+	Errors    int64
+	Elapsed   time.Duration
+}
+
+// AchievedRPS returns the completed-request throughput.
+func (r *LoadResult) AchievedRPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// pendingReq tracks one in-flight request on a connection.
+type pendingReq struct {
+	scheduled time.Time // open-loop scheduled arrival (latency epoch)
+	isGet     bool
+}
+
+// lineScanner is a minimal blocking line reader over an endpoint for
+// the client side (clients are plain goroutines, outside the runtime).
+type lineScanner struct {
+	ep  *netsim.Endpoint
+	buf []byte
+	pos int
+}
+
+func (ls *lineScanner) readLine() (string, error) {
+	for {
+		for i := ls.pos; i < len(ls.buf); i++ {
+			if ls.buf[i] == '\n' {
+				line := ls.buf[ls.pos:i]
+				ls.pos = i + 1
+				if len(line) > 0 && line[len(line)-1] == '\r' {
+					line = line[:len(line)-1]
+				}
+				return string(line), nil
+			}
+		}
+		if ls.pos > 0 {
+			rest := copy(ls.buf, ls.buf[ls.pos:])
+			ls.buf = ls.buf[:rest]
+			ls.pos = 0
+		}
+		var chunk [4096]byte
+		n, err := ls.ep.Read(chunk[:])
+		if n > 0 {
+			ls.buf = append(ls.buf, chunk[:n]...)
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+	}
+}
+
+// RunLoad drives the server behind ln with the configured workload
+// and returns latency measurements. Latency is measured from each
+// request's *scheduled* arrival time (open-loop convention, so server
+// overload shows up as queueing delay rather than silently slowing
+// the generator).
+func RunLoad(ln *netsim.Listener, cfg WorkloadConfig) (*LoadResult, error) {
+	cfg.applyDefaults()
+	res := &LoadResult{Latency: stats.NewRecorder(int(cfg.RPS * cfg.Duration.Seconds()))}
+	rootRNG := xrand.New(cfg.Seed)
+
+	var sent, completed, errors atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	perConnRate := cfg.RPS / float64(cfg.Connections)
+	if perConnRate <= 0 {
+		return nil, fmt.Errorf("memcached: non-positive RPS")
+	}
+	meanGap := time.Duration(float64(time.Second) / perConnRate)
+
+	for c := 0; c < cfg.Connections; c++ {
+		ep, err := ln.Dial()
+		if err != nil {
+			return nil, err
+		}
+		rng := rootRNG.Split()
+		zipf := xrand.NewZipf(rng, cfg.ZipfS, uint64(cfg.KeySpace))
+		pending := make(chan pendingReq, 65536)
+
+		// Sender: paced, open-loop.
+		wg.Add(1)
+		go func(ep *netsim.Endpoint) {
+			defer wg.Done()
+			defer close(pending)
+			val := makeValue(cfg.ValueSize, byte(ep.ID))
+			next := time.Now()
+			deadline := start.Add(cfg.Duration)
+			for {
+				gap := time.Duration(rng.Exp(float64(meanGap)))
+				next = next.Add(gap)
+				if next.After(deadline) {
+					return
+				}
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				key := KeyName(zipf.Uint64())
+				isGet := rng.Float64() < cfg.GetFraction
+				var req string
+				if isGet {
+					req = "get " + key + "\r\n"
+				} else {
+					req = fmt.Sprintf("set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
+				}
+				pending <- pendingReq{scheduled: next, isGet: isGet}
+				if _, err := ep.WriteString(req); err != nil {
+					errors.Add(1)
+					return
+				}
+				sent.Add(1)
+			}
+		}(ep)
+
+		// Receiver: parse responses in order, record latency.
+		wg.Add(1)
+		go func(ep *netsim.Endpoint) {
+			defer wg.Done()
+			defer ep.Close()
+			ls := &lineScanner{ep: ep}
+			for p := range pending {
+				ok := true
+				if p.isGet {
+					for {
+						line, err := ls.readLine()
+						if err != nil {
+							errors.Add(1)
+							return
+						}
+						if line == "END" {
+							break
+						}
+						if strings.HasPrefix(line, "VALUE ") {
+							// The value block is one "line" for our
+							// scanner (payloads contain no newlines).
+							if _, err := ls.readLine(); err != nil {
+								errors.Add(1)
+								return
+							}
+							continue
+						}
+						ok = false
+						break
+					}
+				} else {
+					line, err := ls.readLine()
+					if err != nil {
+						errors.Add(1)
+						return
+					}
+					ok = line == "STORED"
+				}
+				if !ok {
+					errors.Add(1)
+					continue
+				}
+				if p.scheduled.After(measureFrom) {
+					res.Latency.Record(time.Since(p.scheduled))
+				}
+				completed.Add(1)
+			}
+		}(ep)
+	}
+
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Sent = sent.Load()
+	res.Completed = completed.Load()
+	res.Errors = errors.Load()
+	if res.Errors > 0 && res.Completed == 0 {
+		return res, io.ErrUnexpectedEOF
+	}
+	return res, nil
+}

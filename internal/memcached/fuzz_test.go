@@ -1,0 +1,96 @@
+package memcached
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCommand checks the text-protocol parser never panics and
+// keeps its framing contract (needData only for storage commands,
+// errors always protocol-formatted) on arbitrary input.
+func FuzzParseCommand(f *testing.F) {
+	for _, seed := range []string{
+		"get k", "get a b c", "gets k",
+		"set k 0 0 5", "set k 1 2 3 noreply", "cas k 0 0 3 42",
+		"add k 0 0 1", "replace k 0 0 1", "append k 0 0 1", "prepend k 0 0 1",
+		"delete k", "delete k noreply",
+		"incr k 1", "decr k 2 noreply", "touch k 30",
+		"stats", "version", "flush_all", "quit", "verbosity 1",
+		"", "   ", "bogus", "set", "set k", "set k x y z",
+		"get \x00\xff", "incr k 99999999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		req, needData, err := ParseCommand(line)
+		if err != nil {
+			msg := err.Error()
+			if msg != "ERROR" && !strings.HasPrefix(msg, "CLIENT_ERROR") {
+				t.Fatalf("unprotocol error %q for line %q", msg, line)
+			}
+			return
+		}
+		if req == nil {
+			return // blank line
+		}
+		switch req.Op {
+		case "set", "add", "replace", "append", "prepend", "cas":
+			if needData < 0 {
+				t.Fatalf("storage op %q without data block (line %q)", req.Op, line)
+			}
+		default:
+			if needData >= 0 {
+				t.Fatalf("non-storage op %q demands data (line %q)", req.Op, line)
+			}
+		}
+		// Executing any successfully parsed command must not panic.
+		if needData >= 0 {
+			req.Data = make([]byte, needData)
+		}
+		s := NewStore(StoreConfig{Shards: 1})
+		Execute(s, req)
+	})
+}
+
+// FuzzExecuteBinary checks the binary executor never panics on
+// arbitrary header/body combinations and always either replies with a
+// well-formed frame or stays silent (quiet ops).
+func FuzzExecuteBinary(f *testing.F) {
+	f.Add([]byte{binReqMagic, binOpGet, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 'k'})
+	f.Add(binRequestFuzzSeed(binOpSet, []byte{0, 0, 0, 0, 0, 0, 0, 0}, "key", "val"))
+	f.Add(binRequestFuzzSeed(binOpIncr, make([]byte, 20), "n", ""))
+	f.Add([]byte{0x81, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		if len(frame) < 24 {
+			return
+		}
+		h := parseBinHeader(frame)
+		body := frame[24:]
+		if int(h.bodyLen) <= len(body) {
+			body = body[:h.bodyLen]
+		}
+		// Header/body mismatches must be handled, not panic.
+		s := NewStore(StoreConfig{Shards: 1})
+		resp, _ := ExecuteBinary(s, h, body)
+		if resp != nil {
+			if len(resp) < 24 || resp[0] != binRespMagic {
+				t.Fatalf("malformed response frame: % x", resp[:min(len(resp), 24)])
+			}
+			rh := parseBinHeader(resp)
+			if int(rh.bodyLen) != len(resp)-24 {
+				t.Fatalf("response bodyLen %d != actual %d", rh.bodyLen, len(resp)-24)
+			}
+		}
+	})
+}
+
+func binRequestFuzzSeed(opcode uint8, extras []byte, key, value string) []byte {
+	return binRequest(opcode, 0, 0, extras, []byte(key), []byte(value))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package memcached
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// modelEntry is the reference model's item.
+type modelEntry struct {
+	value string
+	flags uint32
+}
+
+// TestQuickStoreMatchesModel drives random command sequences through
+// the protocol layer and an in-memory reference model in lockstep,
+// comparing every reply. This is the property-based check that the
+// store+protocol implementation agrees with the memcached text
+// protocol semantics for the non-temporal commands.
+func TestQuickStoreMatchesModel(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	prop := func(ops []uint16) bool {
+		s := NewStore(StoreConfig{Shards: 2})
+		model := make(map[string]modelEntry)
+		for _, op := range ops {
+			key := keys[int(op>>2)%len(keys)]
+			val := fmt.Sprintf("v%d", op%7)
+			switch op % 8 {
+			case 0, 1: // set
+				got := exec(t, s, fmt.Sprintf("set %s %d 0 %d", key, op%5, len(val)), val)
+				if got != "STORED\r\n" {
+					return false
+				}
+				model[key] = modelEntry{val, uint32(op % 5)}
+			case 2: // add
+				got := exec(t, s, fmt.Sprintf("add %s 0 0 %d", key, len(val)), val)
+				_, exists := model[key]
+				if exists && got != "NOT_STORED\r\n" {
+					return false
+				}
+				if !exists {
+					if got != "STORED\r\n" {
+						return false
+					}
+					model[key] = modelEntry{val, 0}
+				}
+			case 3: // replace
+				got := exec(t, s, fmt.Sprintf("replace %s 0 0 %d", key, len(val)), val)
+				_, exists := model[key]
+				if !exists && got != "NOT_STORED\r\n" {
+					return false
+				}
+				if exists {
+					if got != "STORED\r\n" {
+						return false
+					}
+					model[key] = modelEntry{val, 0}
+				}
+			case 4: // get
+				got := exec(t, s, "get "+key, "")
+				want, exists := model[key]
+				if !exists {
+					if got != "END\r\n" {
+						return false
+					}
+				} else {
+					header := fmt.Sprintf("VALUE %s %d %d\r\n", key, want.flags, len(want.value))
+					if got != header+want.value+"\r\nEND\r\n" {
+						return false
+					}
+				}
+			case 5: // delete
+				got := exec(t, s, "delete "+key, "")
+				_, exists := model[key]
+				if exists && got != "DELETED\r\n" {
+					return false
+				}
+				if !exists && got != "NOT_FOUND\r\n" {
+					return false
+				}
+				delete(model, key)
+			case 6: // append
+				got := exec(t, s, fmt.Sprintf("append %s 0 0 %d", key, len(val)), val)
+				want, exists := model[key]
+				if !exists && got != "NOT_STORED\r\n" {
+					return false
+				}
+				if exists {
+					if got != "STORED\r\n" {
+						return false
+					}
+					model[key] = modelEntry{want.value + val, want.flags}
+				}
+			case 7: // incr (only meaningful when the value is numeric)
+				got := exec(t, s, "incr "+key+" 3", "")
+				want, exists := model[key]
+				switch {
+				case !exists:
+					if got != "NOT_FOUND\r\n" {
+						return false
+					}
+				default:
+					if n, err := strconv.ParseUint(want.value, 10, 64); err == nil {
+						nv := strconv.FormatUint(n+3, 10)
+						if got != nv+"\r\n" {
+							return false
+						}
+						model[key] = modelEntry{nv, want.flags}
+					} else if !strings.HasPrefix(got, "CLIENT_ERROR") {
+						return false
+					}
+				}
+			}
+		}
+		// Final consistency: item count matches the model.
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

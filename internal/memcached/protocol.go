@@ -1,0 +1,300 @@
+package memcached
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Request is one parsed protocol command.
+type Request struct {
+	Op        string   // canonical command name
+	Keys      []string // get/gets
+	Key       string   // single-key commands
+	Flags     uint32
+	Exptime   int64
+	Bytes     int // data block length for storage commands
+	CasUnique uint64
+	Delta     uint64 // incr/decr
+	NoReply   bool
+	Data      []byte // storage payload, attached after the block is read
+}
+
+// Protocol reply fragments.
+const (
+	replyStored      = "STORED\r\n"
+	replyNotStored   = "NOT_STORED\r\n"
+	replyExists      = "EXISTS\r\n"
+	replyNotFound    = "NOT_FOUND\r\n"
+	replyDeleted     = "DELETED\r\n"
+	replyTouched     = "TOUCHED\r\n"
+	replyEnd         = "END\r\n"
+	replyError       = "ERROR\r\n"
+	replyOK          = "OK\r\n"
+	replyBadDataChnk = "CLIENT_ERROR bad data chunk\r\n"
+	replyNonNumeric  = "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"
+)
+
+// ParseCommand parses a command line (without the trailing CRLF).
+// needData reports how many payload bytes must be read as a data
+// block before the command can execute (-1 when none). A nil Request
+// with nil error signals a syntactically empty line to skip.
+func ParseCommand(line string) (req *Request, needData int, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, -1, nil
+	}
+	op := fields[0]
+	args := fields[1:]
+	r := &Request{Op: op}
+	bad := func(msg string) (*Request, int, error) {
+		return nil, -1, fmt.Errorf("CLIENT_ERROR %s", msg)
+	}
+
+	switch op {
+	case "get", "gets":
+		if len(args) == 0 {
+			return bad("get requires a key")
+		}
+		r.Keys = args
+		return r, -1, nil
+
+	case "set", "add", "replace", "append", "prepend", "cas":
+		wantArgs := 4
+		if op == "cas" {
+			wantArgs = 5
+		}
+		if len(args) < wantArgs || len(args) > wantArgs+1 {
+			return bad("bad storage command")
+		}
+		r.Key = args[0]
+		f64, err1 := strconv.ParseUint(args[1], 10, 32)
+		exp, err2 := strconv.ParseInt(args[2], 10, 64)
+		nbytes, err3 := strconv.Atoi(args[3])
+		if err1 != nil || err2 != nil || err3 != nil || nbytes < 0 {
+			return bad("bad storage parameters")
+		}
+		r.Flags = uint32(f64)
+		r.Exptime = exp
+		r.Bytes = nbytes
+		rest := args[4:]
+		if op == "cas" {
+			cu, err := strconv.ParseUint(args[4], 10, 64)
+			if err != nil {
+				return bad("bad cas unique")
+			}
+			r.CasUnique = cu
+			rest = args[5:]
+		}
+		if len(rest) == 1 {
+			if rest[0] != "noreply" {
+				return bad("bad storage command")
+			}
+			r.NoReply = true
+		}
+		return r, r.Bytes, nil
+
+	case "delete":
+		if len(args) < 1 || len(args) > 2 {
+			return bad("bad delete")
+		}
+		r.Key = args[0]
+		r.NoReply = len(args) == 2 && args[1] == "noreply"
+		return r, -1, nil
+
+	case "incr", "decr":
+		if len(args) < 2 || len(args) > 3 {
+			return bad("bad " + op)
+		}
+		r.Key = args[0]
+		d, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return bad("invalid numeric delta argument")
+		}
+		r.Delta = d
+		r.NoReply = len(args) == 3 && args[2] == "noreply"
+		return r, -1, nil
+
+	case "touch":
+		if len(args) < 2 || len(args) > 3 {
+			return bad("bad touch")
+		}
+		r.Key = args[0]
+		exp, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return bad("bad exptime")
+		}
+		r.Exptime = exp
+		r.NoReply = len(args) == 3 && args[2] == "noreply"
+		return r, -1, nil
+
+	case "stats", "version", "verbosity", "flush_all", "quit":
+		if op == "flush_all" || op == "verbosity" {
+			r.NoReply = len(args) > 0 && args[len(args)-1] == "noreply"
+		}
+		r.Keys = args // sub-arguments ("stats reset")
+		return r, -1, nil
+
+	case "lru_crawler":
+		if len(args) == 0 {
+			return bad("lru_crawler requires a subcommand")
+		}
+		r.Keys = args
+		return r, -1, nil
+
+	default:
+		return nil, -1, fmt.Errorf("ERROR")
+	}
+}
+
+// Execute runs a parsed request against the store and returns the
+// protocol reply (empty for noreply). quit reports that the
+// connection should close.
+func Execute(s *Store, r *Request) (reply []byte, quit bool) {
+	switch r.Op {
+	case "get", "gets":
+		withCAS := r.Op == "gets"
+		var b []byte
+		for _, key := range r.Keys {
+			value, flags, cas, ok := s.Get(key)
+			if !ok {
+				continue
+			}
+			if withCAS {
+				b = append(b, fmt.Sprintf("VALUE %s %d %d %d\r\n", key, flags, len(value), cas)...)
+			} else {
+				b = append(b, fmt.Sprintf("VALUE %s %d %d\r\n", key, flags, len(value))...)
+			}
+			b = append(b, value...)
+			b = append(b, '\r', '\n')
+		}
+		b = append(b, replyEnd...)
+		return b, false
+
+	case "set", "add", "replace", "append", "prepend", "cas":
+		mode := map[string]SetMode{
+			"set": ModeSet, "add": ModeAdd, "replace": ModeReplace,
+			"append": ModeAppend, "prepend": ModePrepend, "cas": ModeCAS,
+		}[r.Op]
+		res := s.Set(mode, r.Key, r.Data, r.Flags, r.Exptime, r.CasUnique)
+		if r.NoReply {
+			return nil, false
+		}
+		switch res {
+		case Stored:
+			return []byte(replyStored), false
+		case NotStored:
+			return []byte(replyNotStored), false
+		case Exists:
+			return []byte(replyExists), false
+		default:
+			return []byte(replyNotFound), false
+		}
+
+	case "delete":
+		ok := s.Delete(r.Key)
+		if r.NoReply {
+			return nil, false
+		}
+		if ok {
+			return []byte(replyDeleted), false
+		}
+		return []byte(replyNotFound), false
+
+	case "incr", "decr":
+		nv, ok, numeric := s.IncrDecr(r.Key, r.Delta, r.Op == "incr")
+		if r.NoReply {
+			return nil, false
+		}
+		switch {
+		case !ok:
+			return []byte(replyNotFound), false
+		case !numeric:
+			return []byte(replyNonNumeric), false
+		default:
+			return []byte(strconv.FormatUint(nv, 10) + "\r\n"), false
+		}
+
+	case "touch":
+		ok := s.Touch(r.Key, r.Exptime)
+		if r.NoReply {
+			return nil, false
+		}
+		if ok {
+			return []byte(replyTouched), false
+		}
+		return []byte(replyNotFound), false
+
+	case "stats":
+		if len(r.Keys) == 1 && r.Keys[0] == "reset" {
+			s.Stats.Reset()
+			return []byte("RESET\r\n"), false
+		}
+		return statsReply(s), false
+
+	case "lru_crawler":
+		switch r.Keys[0] {
+		case "crawl":
+			// "crawl all" or "crawl <shard>[,<shard>...]" — sweep the
+			// named shards synchronously.
+			reaped := 0
+			if len(r.Keys) > 1 && r.Keys[1] != "all" {
+				for _, part := range strings.Split(r.Keys[1], ",") {
+					id, err := strconv.Atoi(part)
+					if err != nil {
+						return []byte("CLIENT_ERROR bad class id\r\n"), false
+					}
+					reaped += s.CrawlShard(id)
+				}
+			} else {
+				for i := 0; i < s.Shards(); i++ {
+					reaped += s.CrawlShard(i)
+				}
+			}
+			return []byte(replyOK), false
+		default:
+			return []byte("CLIENT_ERROR unknown lru_crawler subcommand\r\n"), false
+		}
+
+	case "version":
+		return []byte("VERSION 1.6-icilk-repro\r\n"), false
+
+	case "verbosity":
+		if r.NoReply {
+			return nil, false
+		}
+		return []byte(replyOK), false
+
+	case "flush_all":
+		s.FlushAll()
+		if r.NoReply {
+			return nil, false
+		}
+		return []byte(replyOK), false
+
+	case "quit":
+		return nil, true
+	}
+	return []byte(replyError), false
+}
+
+// statsReply renders the "stats" command output.
+func statsReply(s *Store) []byte {
+	var b strings.Builder
+	stat := func(k string, v int64) { fmt.Fprintf(&b, "STAT %s %d\r\n", k, v) }
+	stat("uptime", s.Uptime())
+	stat("curr_items", s.Stats.CurrItems.Load())
+	stat("total_items", s.Stats.TotalItems.Load())
+	stat("bytes", s.Bytes())
+	stat("get_hits", s.Stats.GetHits.Load())
+	stat("get_misses", s.Stats.GetMisses.Load())
+	stat("cmd_set", s.Stats.Sets.Load())
+	stat("delete_hits", s.Stats.Deletes.Load())
+	stat("evictions", s.Stats.Evictions.Load())
+	stat("expired_unfetched", s.Stats.Expired.Load())
+	stat("cas_hits", s.Stats.CasHits.Load())
+	stat("cas_misses", s.Stats.CasMisses.Load())
+	stat("cas_badval", s.Stats.CasBadval.Load())
+	b.WriteString(replyEnd)
+	return []byte(b.String())
+}

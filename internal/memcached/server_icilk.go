@@ -1,0 +1,228 @@
+package memcached
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"icilk"
+	"icilk/internal/netsim"
+	"icilk/internal/stats"
+)
+
+// ICilkConfig configures the task-parallel port.
+type ICilkConfig struct {
+	// RequestLevel is the priority level for client request handling
+	// (default 0, the highest).
+	RequestLevel int
+	// CrawlerLevel is the priority level for the background LRU
+	// crawler (default: lowest configured level).
+	CrawlerLevel int
+	// CrawlInterval paces the crawler. Default 100ms.
+	CrawlInterval time.Duration
+	// BatchLimit bounds how many pipelined requests a connection
+	// handler processes before yielding a scheduling point. Default
+	// 20, matching the pthread baseline's fairness threshold.
+	BatchLimit int
+	// ServiceHistogram, if non-nil, records per-request service time
+	// (request fully parsed to reply written) — constant-memory
+	// latency tracking for long-running deployments.
+	ServiceHistogram *stats.Histogram
+}
+
+// ICilkServer is the task-parallel Memcached port (Section 3 of the
+// paper): the event loop is gone; each client connection is a future
+// routine whose body is straight-line code — read a request
+// (suspending on an I/O future when the socket is dry), execute it,
+// write the reply. The scheduler transparently multiplexes the
+// hundreds of concurrent connection routines.
+type ICilkServer struct {
+	store *Store
+	rt    *icilk.Runtime
+	cfg   ICilkConfig
+
+	stopped atomic.Bool
+	crawler *icilk.Future
+	conns   atomic.Int64
+}
+
+// NewICilkServer wraps a store and a runtime.
+func NewICilkServer(store *Store, rt *icilk.Runtime, cfg ICilkConfig) *ICilkServer {
+	if cfg.CrawlInterval <= 0 {
+		cfg.CrawlInterval = 100 * time.Millisecond
+	}
+	if cfg.BatchLimit <= 0 {
+		cfg.BatchLimit = 20
+	}
+	if cfg.CrawlerLevel <= 0 {
+		cfg.CrawlerLevel = rt.Levels() - 1
+	}
+	return &ICilkServer{store: store, rt: rt, cfg: cfg}
+}
+
+// StartCrawler launches the background LRU crawler as a low-priority
+// future routine — the pthread version's background thread, expressed
+// as a task. Serve calls it automatically; real-network frontends
+// that bypass Serve call it themselves.
+func (s *ICilkServer) StartCrawler() {
+	if s.crawler != nil {
+		return
+	}
+	s.crawler = s.rt.Submit(s.cfg.CrawlerLevel, func(t *icilk.Task) any {
+		i := 0
+		for !s.stopped.Load() {
+			s.store.CrawlShard(i)
+			i++
+			s.rt.Sleep(t, s.cfg.CrawlInterval)
+		}
+		return nil
+	})
+}
+
+// Serve accepts connections until the listener closes, submitting one
+// future routine per connection. It blocks; run it on a goroutine.
+func (s *ICilkServer) Serve(ln *netsim.Listener) {
+	s.StartCrawler()
+	for {
+		ep, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.HandleConn(ep)
+	}
+}
+
+// Conn is the connection surface the server needs: the icilk I/O
+// future interface plus Close. Both netsim.Endpoint and netreal.Conn
+// satisfy it.
+type Conn interface {
+	icilk.Conn
+	Close() error
+}
+
+// HandleConn submits a connection-handling future routine for ep and
+// returns its future (which resolves when the client disconnects).
+// Real-network frontends (cmd/memcached-server) call this directly
+// with adapted TCP connections.
+func (s *ICilkServer) HandleConn(ep Conn) *icilk.Future {
+	s.conns.Add(1)
+	return s.rt.Submit(s.cfg.RequestLevel, func(t *icilk.Task) any {
+		defer s.conns.Add(-1)
+		s.handleConn(t, ep)
+		return nil
+	})
+}
+
+// handleConn is the whole per-connection logic. Contrast with the
+// pthread frontend's connState/step state machine: I/O futures give a
+// synchronous interface, so the control flow reads top to bottom.
+func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
+	defer ep.Close()
+	lr := s.rt.NewLineReader(ep)
+	// Protocol sniff, as real memcached does: a 0x80 first byte means
+	// the client speaks the binary protocol.
+	first, err := lr.PeekByte(t)
+	if err != nil {
+		return
+	}
+	if first == binReqMagic {
+		s.handleBinaryConn(t, ep, lr)
+		return
+	}
+	sinceYield := 0
+	for {
+		line, err := lr.ReadLine(t)
+		if err != nil {
+			return // EOF: client disconnected
+		}
+		req, needData, perr := ParseCommand(line)
+		if perr != nil {
+			fmt.Fprintf(ep, "%s\r\n", perr.Error())
+			continue
+		}
+		if req == nil {
+			continue
+		}
+		if needData >= 0 {
+			data, err := lr.ReadBlock(t, needData)
+			if err != nil {
+				return
+			}
+			req.Data = data
+		}
+		t0 := time.Now()
+		reply, quit := Execute(s.store, req)
+		if len(reply) > 0 {
+			ep.Write(reply)
+		}
+		if h := s.cfg.ServiceHistogram; h != nil {
+			h.Record(time.Since(t0))
+		}
+		if quit {
+			return
+		}
+		// Fairness among pipelined requests: after a batch, take an
+		// explicit scheduling point (the pthread baseline's voluntary
+		// yield; here it is also a promptness check).
+		sinceYield++
+		if sinceYield >= s.cfg.BatchLimit && lr.Buffered() {
+			sinceYield = 0
+			t.Yield()
+		}
+	}
+}
+
+// handleBinaryConn serves the binary protocol: 24-byte headers plus
+// length-prefixed bodies, read through the same suspending I/O-future
+// reader (ReadExact instead of ReadLine — the framing is the only
+// difference between the two protocol loops).
+func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineReader) {
+	sinceYield := 0
+	for {
+		hdr, err := lr.ReadExact(t, 24)
+		if err != nil {
+			return
+		}
+		h := parseBinHeader(hdr)
+		if h.magic != binReqMagic {
+			return // framing lost; drop the connection
+		}
+		var body []byte
+		if h.bodyLen > 0 {
+			body, err = lr.ReadExact(t, int(h.bodyLen))
+			if err != nil {
+				return
+			}
+		}
+		t0 := time.Now()
+		resp, quit := ExecuteBinary(s.store, h, body)
+		if resp != nil {
+			ep.Write(resp)
+		}
+		if sh := s.cfg.ServiceHistogram; sh != nil {
+			sh.Record(time.Since(t0))
+		}
+		if quit {
+			return
+		}
+		sinceYield++
+		if sinceYield >= s.cfg.BatchLimit && lr.Buffered() {
+			sinceYield = 0
+			t.Yield()
+		}
+	}
+}
+
+// ActiveConns returns the number of live connection routines.
+func (s *ICilkServer) ActiveConns() int64 { return s.conns.Load() }
+
+// Close stops the crawler. Close the listener first; connection
+// routines exit when their clients disconnect.
+func (s *ICilkServer) Close() {
+	if s.stopped.Swap(true) {
+		return
+	}
+	if s.crawler != nil {
+		s.crawler.Wait()
+	}
+}

@@ -1,0 +1,292 @@
+package memcached
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icilk/internal/levent"
+	"icilk/internal/netsim"
+)
+
+// PthreadConfig configures the baseline server.
+type PthreadConfig struct {
+	// Workers is the number of event-loop worker threads. The paper
+	// (and the Memcached documentation) runs 4.
+	Workers int
+	// BatchLimit is how many pipelined requests a callback processes
+	// before voluntarily yielding back to the event loop. Default 20.
+	BatchLimit int
+	// CrawlInterval paces the background LRU crawler thread. Default
+	// 100ms; the paper notes background threads "rarely ran".
+	CrawlInterval time.Duration
+}
+
+// PthreadServer is the baseline Memcached architecture: a main
+// acceptor thread, N worker threads each running a libevent-style
+// event loop, connections pinned to a worker at accept time, and
+// request handling written as an explicit state machine inside the
+// read callback.
+type PthreadServer struct {
+	store *Store
+	cfg   PthreadConfig
+	bases []*levent.Base
+	wg    sync.WaitGroup
+	next  atomic.Int64 // round-robin connection assignment
+	stop  chan struct{}
+	once  sync.Once
+}
+
+// NewPthreadServer creates the server around an existing store.
+func NewPthreadServer(store *Store, cfg PthreadConfig) *PthreadServer {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.BatchLimit <= 0 {
+		cfg.BatchLimit = 20
+	}
+	if cfg.CrawlInterval <= 0 {
+		cfg.CrawlInterval = 100 * time.Millisecond
+	}
+	s := &PthreadServer{store: store, cfg: cfg, stop: make(chan struct{})}
+	s.bases = make([]*levent.Base, cfg.Workers)
+	for i := range s.bases {
+		s.bases[i] = levent.NewBase()
+	}
+	return s
+}
+
+// connState is the per-connection protocol state machine. The
+// explicit needData/pending fields are the bookkeeping the paper
+// criticizes: "the callback function effectively encodes a large
+// state machine ... the logic for handling a single request is
+// scattered across different switch statement cases."
+type connState struct {
+	ep       *netsim.Endpoint
+	buf      []byte
+	pos      int
+	pending  *Request // parsed command awaiting its data block
+	needData int      // bytes outstanding for pending; -1 when none
+	eof      bool
+
+	// Protocol sniffing and binary-mode state (real memcached's event
+	// loop also dispatches on the first byte and keeps the pending
+	// binary header in the connection state).
+	sniffed    bool
+	binary     bool
+	binPending *binHeader // header awaiting its body
+}
+
+func (cs *connState) buffered() bool { return cs.pos < len(cs.buf) }
+
+// compact drops the consumed prefix.
+func (cs *connState) compact() {
+	if cs.pos == 0 {
+		return
+	}
+	rest := copy(cs.buf, cs.buf[cs.pos:])
+	cs.buf = cs.buf[:rest]
+	cs.pos = 0
+}
+
+// drain moves everything readable from the socket into the buffer.
+func (cs *connState) drain() {
+	var chunk [4096]byte
+	for {
+		n, err := cs.ep.TryRead(chunk[:])
+		if n > 0 {
+			cs.buf = append(cs.buf, chunk[:n]...)
+			continue
+		}
+		if err == io.EOF {
+			cs.eof = true
+		}
+		return
+	}
+}
+
+// step tries to make progress on one protocol transition. executed
+// reports a completed request; progress reports any forward motion.
+func (cs *connState) step(store *Store) (progress, executed, quit bool) {
+	// State: protocol not yet sniffed.
+	if !cs.sniffed {
+		if cs.pos >= len(cs.buf) {
+			return false, false, false
+		}
+		cs.sniffed = true
+		cs.binary = cs.buf[cs.pos] == binReqMagic
+	}
+	if cs.binary {
+		return cs.stepBinary(store)
+	}
+	// State: waiting for a data block.
+	if cs.pending != nil {
+		if len(cs.buf)-cs.pos < cs.needData+2 {
+			return false, false, false
+		}
+		req := cs.pending
+		req.Data = make([]byte, cs.needData)
+		copy(req.Data, cs.buf[cs.pos:cs.pos+cs.needData])
+		cs.pos += cs.needData + 2 // skip CRLF
+		cs.pending = nil
+		cs.needData = -1
+		reply, q := Execute(store, req)
+		if len(reply) > 0 {
+			cs.ep.Write(reply)
+		}
+		return true, true, q
+	}
+	// State: waiting for a command line.
+	idx := -1
+	for i := cs.pos; i < len(cs.buf); i++ {
+		if cs.buf[i] == '\n' {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false, false, false
+	}
+	line := cs.buf[cs.pos:idx]
+	cs.pos = idx + 1
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	req, needData, err := ParseCommand(string(line))
+	if err != nil {
+		fmt.Fprintf(cs.ep, "%s\r\n", err.Error())
+		return true, true, false
+	}
+	if req == nil {
+		return true, false, false
+	}
+	if needData >= 0 {
+		cs.pending = req
+		cs.needData = needData
+		return true, false, false
+	}
+	reply, q := Execute(store, req)
+	if len(reply) > 0 {
+		cs.ep.Write(reply)
+	}
+	return true, true, q
+}
+
+// stepBinary advances the binary-protocol state machine by one
+// transition: header, then body, then execute.
+func (cs *connState) stepBinary(store *Store) (progress, executed, quit bool) {
+	if cs.binPending == nil {
+		if len(cs.buf)-cs.pos < 24 {
+			return false, false, false
+		}
+		h := parseBinHeader(cs.buf[cs.pos : cs.pos+24])
+		cs.pos += 24
+		if h.magic != binReqMagic {
+			return true, false, true // framing lost: close
+		}
+		cs.binPending = &h
+		return true, false, false
+	}
+	h := *cs.binPending
+	if len(cs.buf)-cs.pos < int(h.bodyLen) {
+		return false, false, false
+	}
+	body := make([]byte, h.bodyLen)
+	copy(body, cs.buf[cs.pos:cs.pos+int(h.bodyLen)])
+	cs.pos += int(h.bodyLen)
+	cs.binPending = nil
+	resp, q := ExecuteBinary(store, h, body)
+	if resp != nil {
+		cs.ep.Write(resp)
+	}
+	return true, true, q
+}
+
+// onReadable is the libevent read callback.
+func (s *PthreadServer) onReadable(e *levent.Event) {
+	cs := e.UserData().(*connState)
+	cs.drain()
+	executed := 0
+	for executed < s.cfg.BatchLimit {
+		progress, exec, quit := cs.step(s.store)
+		if quit {
+			cs.ep.Close()
+			return
+		}
+		if exec {
+			executed++
+		}
+		if !progress {
+			break
+		}
+	}
+	cs.compact()
+	if cs.buffered() && executed >= s.cfg.BatchLimit {
+		// Voluntary yield: requeue behind other ready connections.
+		e.Reactivate()
+		return
+	}
+	if cs.eof && !cs.buffered() && cs.pending == nil && cs.binPending == nil {
+		cs.ep.Close()
+		return
+	}
+	e.Add()
+}
+
+// Serve accepts connections until the listener closes. It blocks;
+// run it on its own goroutine. Stop the server by closing the
+// listener and then calling Close.
+func (s *PthreadServer) Serve(ln *netsim.Listener) {
+	// Worker threads.
+	for _, b := range s.bases {
+		b := b
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			b.Dispatch()
+		}()
+	}
+	// Background crawler thread.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		i := 0
+		t := time.NewTicker(s.cfg.CrawlInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.store.CrawlShard(i)
+				i++
+			}
+		}
+	}()
+	// Main thread: accept and pin connections round-robin.
+	for {
+		ep, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		base := s.bases[int(s.next.Add(1))%len(s.bases)]
+		cs := &connState{ep: ep, needData: -1}
+		ev := base.NewReadEvent(ep, s.onReadable)
+		ev.SetUserData(cs)
+		ev.Add()
+	}
+}
+
+// Close stops the event loops and the crawler. Call after closing the
+// listener.
+func (s *PthreadServer) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		for _, b := range s.bases {
+			b.Stop()
+		}
+	})
+	s.wg.Wait()
+}

@@ -1,0 +1,456 @@
+// Package memcached reimplements the Memcached object-caching server
+// used as the paper's headline benchmark (Section 3): an in-memory
+// key-value store for small objects, a hash table whose entries are
+// kept in (approximately) least-recently-used order, and the text
+// protocol. Two server frontends expose the same store:
+//
+//   - PthreadServer: the baseline architecture — a fixed set of
+//     worker threads, each running a libevent-style event loop, with
+//     request handling written as an explicit state machine in a
+//     callback (the structure the paper describes as "a large state
+//     machine using a switch-statement in a loop").
+//   - ICilkServer: the task-parallel port — each client connection is
+//     a future routine; reads use I/O futures, so request handling is
+//     straight-line synchronous code and the scheduler multiplexes
+//     connections.
+package memcached
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Item is one cache entry. LRU links are intrusive and guarded by the
+// owning shard's lock.
+type Item struct {
+	Key      string
+	Value    []byte
+	Flags    uint32
+	ExpireAt int64  // unix seconds; 0 = never
+	CAS      uint64 // unique per successful store
+
+	prev, next *Item
+	lastBump   int64 // last LRU move-to-front (unix nanoseconds)
+}
+
+// expired reports whether the item is past its expiry at time now.
+func (it *Item) expired(now int64) bool {
+	return it.ExpireAt != 0 && it.ExpireAt <= now
+}
+
+// shard is one hash-table partition with its own lock and LRU list.
+type shard struct {
+	mu    sync.Mutex
+	table map[string]*Item
+	// LRU list: head = most recently used, tail = eviction candidate.
+	head, tail *Item
+	bytes      int64
+}
+
+// Counters are the server statistics exposed by the "stats" command.
+type Counters struct {
+	GetHits    atomic.Int64
+	GetMisses  atomic.Int64
+	Sets       atomic.Int64
+	Deletes    atomic.Int64
+	Evictions  atomic.Int64
+	Expired    atomic.Int64
+	CurrItems  atomic.Int64
+	TotalItems atomic.Int64
+	CmdFlush   atomic.Int64
+	CasHits    atomic.Int64
+	CasMisses  atomic.Int64
+	CasBadval  atomic.Int64
+}
+
+// Reset zeroes the resettable statistics, as the "stats reset"
+// command does (gauge-like counters — CurrItems — are preserved).
+func (c *Counters) Reset() {
+	c.GetHits.Store(0)
+	c.GetMisses.Store(0)
+	c.Sets.Store(0)
+	c.Deletes.Store(0)
+	c.Evictions.Store(0)
+	c.Expired.Store(0)
+	c.CmdFlush.Store(0)
+	c.CasHits.Store(0)
+	c.CasMisses.Store(0)
+	c.CasBadval.Store(0)
+}
+
+// StoreConfig sizes the store.
+type StoreConfig struct {
+	// Shards is the number of hash-table partitions. Default 16.
+	Shards int
+	// MaxBytes bounds the total value bytes cached; LRU eviction keeps
+	// the store under it. 0 means unbounded (the paper configures the
+	// initial capacity "large enough for the workload" so resizing and
+	// eviction never trigger during measurement).
+	MaxBytes int64
+	// LRUBumpInterval rate-limits move-to-front per item, like
+	// memcached's 60-second threshold. Default 1s.
+	LRUBumpInterval time.Duration
+}
+
+// Store is the sharded key-value store.
+type Store struct {
+	cfg     StoreConfig
+	shards  []shard
+	casSeq  atomic.Uint64
+	started time.Time
+
+	Stats Counters
+}
+
+// NewStore creates an empty store.
+func NewStore(cfg StoreConfig) *Store {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.LRUBumpInterval <= 0 {
+		cfg.LRUBumpInterval = time.Second
+	}
+	s := &Store{cfg: cfg, started: time.Now()}
+	s.shards = make([]shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i].table = make(map[string]*Item)
+	}
+	return s
+}
+
+// fnv1a hashes a key (FNV-1a, the classic memcached default family).
+func fnv1a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[fnv1a(key)%uint32(len(s.shards))]
+}
+
+// lruUnlink removes it from the shard's list; callers hold sh.mu.
+func (sh *shard) lruUnlink(it *Item) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		sh.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		sh.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+}
+
+// lruPushFront inserts it at the MRU end; callers hold sh.mu.
+func (sh *shard) lruPushFront(it *Item) {
+	it.prev = nil
+	it.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = it
+	}
+	sh.head = it
+	if sh.tail == nil {
+		sh.tail = it
+	}
+}
+
+// bump moves an accessed item toward the front, rate-limited per item
+// the way memcached's LRU maintenance is.
+func (s *Store) bump(sh *shard, it *Item, _ int64) {
+	nowNano := time.Now().UnixNano()
+	if nowNano-it.lastBump < int64(s.cfg.LRUBumpInterval) {
+		return
+	}
+	it.lastBump = nowNano
+	sh.lruUnlink(it)
+	sh.lruPushFront(it)
+}
+
+// removeLocked deletes an item; callers hold sh.mu.
+func (s *Store) removeLocked(sh *shard, it *Item) {
+	delete(sh.table, it.Key)
+	sh.lruUnlink(it)
+	sh.bytes -= int64(len(it.Value))
+	s.Stats.CurrItems.Add(-1)
+}
+
+// evictLocked frees space from the LRU tail until the shard fits its
+// budget; callers hold sh.mu.
+func (s *Store) evictLocked(sh *shard) {
+	if s.cfg.MaxBytes == 0 {
+		return
+	}
+	budget := s.cfg.MaxBytes / int64(len(s.shards))
+	for sh.bytes > budget && sh.tail != nil {
+		victim := sh.tail
+		s.removeLocked(sh, victim)
+		s.Stats.Evictions.Add(1)
+	}
+}
+
+// getLocked looks up a live item, reaping it if expired or flushed;
+// callers hold sh.mu.
+func (s *Store) getLocked(sh *shard, key string, now int64) *Item {
+	it, ok := sh.table[key]
+	if !ok {
+		return nil
+	}
+	if it.expired(now) {
+		s.removeLocked(sh, it)
+		s.Stats.Expired.Add(1)
+		return nil
+	}
+	return it
+}
+
+// Get returns a copy of the value (and flags, CAS) for key.
+func (s *Store) Get(key string) (value []byte, flags uint32, cas uint64, ok bool) {
+	now := time.Now().Unix()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	it := s.getLocked(sh, key, now)
+	if it == nil {
+		sh.mu.Unlock()
+		s.Stats.GetMisses.Add(1)
+		return nil, 0, 0, false
+	}
+	s.bump(sh, it, now)
+	v := make([]byte, len(it.Value))
+	copy(v, it.Value)
+	f, c := it.Flags, it.CAS
+	sh.mu.Unlock()
+	s.Stats.GetHits.Add(1)
+	return v, f, c, true
+}
+
+// SetMode discriminates the storage commands.
+type SetMode int
+
+// Storage command modes.
+const (
+	ModeSet SetMode = iota
+	ModeAdd
+	ModeReplace
+	ModeAppend
+	ModePrepend
+	ModeCAS
+)
+
+// StoreResult is the outcome of a storage command.
+type StoreResult int
+
+// Storage outcomes, mirroring the protocol replies.
+const (
+	Stored StoreResult = iota
+	NotStored
+	Exists
+	NotFoundStore
+)
+
+// Set executes a storage command. casUnique is consulted only for
+// ModeCAS.
+func (s *Store) Set(mode SetMode, key string, value []byte, flags uint32, exptime int64, casUnique uint64) StoreResult {
+	now := time.Now().Unix()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	existing := s.getLocked(sh, key, now)
+
+	switch mode {
+	case ModeAdd:
+		if existing != nil {
+			return NotStored
+		}
+	case ModeReplace:
+		if existing == nil {
+			return NotStored
+		}
+	case ModeAppend, ModePrepend:
+		if existing == nil {
+			return NotStored
+		}
+		// Append/prepend keep the existing flags and exptime.
+		old := existing.Value
+		var merged []byte
+		if mode == ModeAppend {
+			merged = append(append(make([]byte, 0, len(old)+len(value)), old...), value...)
+		} else {
+			merged = append(append(make([]byte, 0, len(old)+len(value)), value...), old...)
+		}
+		sh.bytes += int64(len(merged) - len(old))
+		existing.Value = merged
+		existing.CAS = s.casSeq.Add(1)
+		s.evictLocked(sh)
+		s.Stats.Sets.Add(1)
+		return Stored
+	case ModeCAS:
+		if existing == nil {
+			s.Stats.CasMisses.Add(1)
+			return NotFoundStore
+		}
+		if existing.CAS != casUnique {
+			s.Stats.CasBadval.Add(1)
+			return Exists
+		}
+		s.Stats.CasHits.Add(1)
+	}
+
+	expireAt := normalizeExptime(exptime, now)
+	if existing != nil {
+		sh.bytes += int64(len(value) - len(existing.Value))
+		existing.Value = value
+		existing.Flags = flags
+		existing.ExpireAt = expireAt
+		existing.CAS = s.casSeq.Add(1)
+		s.bump(sh, existing, now)
+	} else {
+		it := &Item{Key: key, Value: value, Flags: flags, ExpireAt: expireAt, CAS: s.casSeq.Add(1), lastBump: time.Now().UnixNano()}
+		sh.table[key] = it
+		sh.lruPushFront(it)
+		sh.bytes += int64(len(value))
+		s.Stats.CurrItems.Add(1)
+		s.Stats.TotalItems.Add(1)
+	}
+	s.evictLocked(sh)
+	s.Stats.Sets.Add(1)
+	return Stored
+}
+
+// normalizeExptime applies memcached's exptime convention: 0 = never,
+// <= 30 days = relative seconds, otherwise an absolute unix time.
+func normalizeExptime(exptime, now int64) int64 {
+	const thirtyDays = 60 * 60 * 24 * 30
+	switch {
+	case exptime == 0:
+		return 0
+	case exptime <= thirtyDays:
+		return now + exptime
+	default:
+		return exptime
+	}
+}
+
+// Delete removes key; ok is false if it was absent.
+func (s *Store) Delete(key string) bool {
+	now := time.Now().Unix()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.getLocked(sh, key, now)
+	if it == nil {
+		return false
+	}
+	s.removeLocked(sh, it)
+	s.Stats.Deletes.Add(1)
+	return true
+}
+
+// IncrDecr adjusts a numeric value by delta (decrements clamp at 0,
+// per the protocol). It returns the new value; ok is false when the
+// key is missing; numeric is false when the stored value is not an
+// unsigned decimal.
+func (s *Store) IncrDecr(key string, delta uint64, incr bool) (newVal uint64, ok, numeric bool) {
+	now := time.Now().Unix()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.getLocked(sh, key, now)
+	if it == nil {
+		return 0, false, true
+	}
+	cur, err := strconv.ParseUint(string(it.Value), 10, 64)
+	if err != nil {
+		return 0, true, false
+	}
+	if incr {
+		cur += delta
+	} else if cur < delta {
+		cur = 0
+	} else {
+		cur -= delta
+	}
+	nv := strconv.AppendUint(nil, cur, 10)
+	sh.bytes += int64(len(nv) - len(it.Value))
+	it.Value = nv
+	it.CAS = s.casSeq.Add(1)
+	s.bump(sh, it, now)
+	return cur, true, true
+}
+
+// Touch updates an item's expiry without reading it.
+func (s *Store) Touch(key string, exptime int64) bool {
+	now := time.Now().Unix()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.getLocked(sh, key, now)
+	if it == nil {
+		return false
+	}
+	it.ExpireAt = normalizeExptime(exptime, now)
+	return true
+}
+
+// FlushAll discards every item (the optional delay of the real
+// protocol is not modeled).
+func (s *Store) FlushAll() {
+	s.Stats.CmdFlush.Add(1)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, it := range sh.table {
+			s.removeLocked(sh, it)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the live item count.
+func (s *Store) Len() int { return int(s.Stats.CurrItems.Load()) }
+
+// Bytes returns the total cached value bytes.
+func (s *Store) Bytes() int64 {
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.bytes
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// CrawlShard sweeps one shard, reaping expired items — the unit of
+// work of the background LRU crawler thread. It returns the number
+// reaped.
+func (s *Store) CrawlShard(i int) int {
+	now := time.Now().Unix()
+	sh := &s.shards[i%len(s.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	reaped := 0
+	for it := sh.tail; it != nil; {
+		prev := it.prev
+		if it.expired(now) {
+			s.removeLocked(sh, it)
+			s.Stats.Expired.Add(1)
+			reaped++
+		}
+		it = prev
+	}
+	return reaped
+}
+
+// Shards returns the shard count (crawler scheduling).
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Uptime returns seconds since the store was created.
+func (s *Store) Uptime() int64 { return int64(time.Since(s.started) / time.Second) }

@@ -1,0 +1,257 @@
+package memcached
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	if res := s.Set(ModeSet, "k", []byte("v1"), 7, 0, 0); res != Stored {
+		t.Fatalf("set = %v", res)
+	}
+	v, flags, cas, ok := s.Get("k")
+	if !ok || string(v) != "v1" || flags != 7 || cas == 0 {
+		t.Fatalf("get = %q,%d,%d,%v", v, flags, cas, ok)
+	}
+	if !s.Delete("k") {
+		t.Fatal("delete failed")
+	}
+	if _, _, _, ok := s.Get("k"); ok {
+		t.Fatal("get after delete succeeded")
+	}
+	if s.Delete("k") {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestAddReplaceSemantics(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	if s.Set(ModeReplace, "k", []byte("x"), 0, 0, 0) != NotStored {
+		t.Fatal("replace of missing key stored")
+	}
+	if s.Set(ModeAdd, "k", []byte("a"), 0, 0, 0) != Stored {
+		t.Fatal("add of missing key failed")
+	}
+	if s.Set(ModeAdd, "k", []byte("b"), 0, 0, 0) != NotStored {
+		t.Fatal("add of existing key stored")
+	}
+	if s.Set(ModeReplace, "k", []byte("c"), 0, 0, 0) != Stored {
+		t.Fatal("replace of existing key failed")
+	}
+	v, _, _, _ := s.Get("k")
+	if string(v) != "c" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestAppendPrepend(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	if s.Set(ModeAppend, "k", []byte("x"), 0, 0, 0) != NotStored {
+		t.Fatal("append to missing key stored")
+	}
+	s.Set(ModeSet, "k", []byte("mid"), 0, 0, 0)
+	s.Set(ModeAppend, "k", []byte("-end"), 0, 0, 0)
+	s.Set(ModePrepend, "k", []byte("start-"), 0, 0, 0)
+	v, _, _, _ := s.Get("k")
+	if string(v) != "start-mid-end" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestCAS(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	s.Set(ModeSet, "k", []byte("v1"), 0, 0, 0)
+	_, _, cas, _ := s.Get("k")
+	if s.Set(ModeCAS, "k", []byte("v2"), 0, 0, cas+99) != Exists {
+		t.Fatal("stale CAS accepted")
+	}
+	if s.Set(ModeCAS, "k", []byte("v2"), 0, 0, cas) != Stored {
+		t.Fatal("valid CAS rejected")
+	}
+	if s.Set(ModeCAS, "missing", []byte("x"), 0, 0, 1) != NotFoundStore {
+		t.Fatal("CAS on missing key not NOT_FOUND")
+	}
+	v, _, cas2, _ := s.Get("k")
+	if string(v) != "v2" || cas2 == cas {
+		t.Fatalf("post-CAS state %q cas %d->%d", v, cas, cas2)
+	}
+}
+
+func TestIncrDecr(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	s.Set(ModeSet, "n", []byte("10"), 0, 0, 0)
+	if v, ok, num := s.IncrDecr("n", 5, true); !ok || !num || v != 15 {
+		t.Fatalf("incr = %d,%v,%v", v, ok, num)
+	}
+	if v, _, _ := s.IncrDecr("n", 20, false); v != 0 {
+		t.Fatalf("decr clamp = %d, want 0", v)
+	}
+	if _, ok, _ := s.IncrDecr("missing", 1, true); ok {
+		t.Fatal("incr of missing key succeeded")
+	}
+	s.Set(ModeSet, "s", []byte("abc"), 0, 0, 0)
+	if _, ok, num := s.IncrDecr("s", 1, true); !ok || num {
+		t.Fatal("incr of non-numeric value did not report as such")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	s.Set(ModeSet, "k", []byte("v"), 0, 1, 0) // 1 second TTL
+	if _, _, _, ok := s.Get("k"); !ok {
+		t.Fatal("fresh item missing")
+	}
+	// Force expiry by setting an absolute past time via Touch.
+	if !s.Touch("k", time.Now().Unix()-100) {
+		t.Fatal("touch failed")
+	}
+	if _, _, _, ok := s.Get("k"); ok {
+		t.Fatal("expired item returned")
+	}
+	if s.Stats.Expired.Load() == 0 {
+		t.Fatal("expiry not counted")
+	}
+}
+
+func TestEvictionKeepsBudget(t *testing.T) {
+	s := NewStore(StoreConfig{Shards: 2, MaxBytes: 2048})
+	val := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		s.Set(ModeSet, KeyName(uint64(i)), val, 0, 0, 0)
+	}
+	if s.Bytes() > 2048 {
+		t.Fatalf("bytes = %d over budget", s.Bytes())
+	}
+	if s.Stats.Evictions.Load() == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	// Single shard so LRU order is global; budget fits 4 items.
+	s := NewStore(StoreConfig{Shards: 1, MaxBytes: 4 * 8, LRUBumpInterval: time.Nanosecond})
+	val := make([]byte, 8)
+	for i := 0; i < 4; i++ {
+		s.Set(ModeSet, fmt.Sprintf("k%d", i), val, 0, 0, 0)
+	}
+	// Touch k0 so k1 becomes the LRU victim. The bump rate limiter is
+	// time-granular (seconds), so force it by setting again.
+	s.Set(ModeSet, "k0", val, 0, 0, 0)
+	s.Set(ModeSet, "k4", val, 0, 0, 0) // forces one eviction
+	if _, _, _, ok := s.Get("k1"); ok {
+		t.Fatal("k1 (LRU) survived eviction")
+	}
+	if _, _, _, ok := s.Get("k0"); !ok {
+		t.Fatal("recently-set k0 was evicted")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	for i := 0; i < 50; i++ {
+		s.Set(ModeSet, KeyName(uint64(i)), []byte("v"), 0, 0, 0)
+	}
+	s.FlushAll()
+	if s.Len() != 0 {
+		t.Fatalf("len = %d after flush", s.Len())
+	}
+	if _, _, _, ok := s.Get(KeyName(0)); ok {
+		t.Fatal("item survived flush")
+	}
+}
+
+func TestCrawlerReapsExpired(t *testing.T) {
+	s := NewStore(StoreConfig{Shards: 1})
+	s.Set(ModeSet, "dead", []byte("v"), 0, 0, 0)
+	s.Touch("dead", time.Now().Unix()-100)
+	s.Set(ModeSet, "live", []byte("v"), 0, 0, 0)
+	reaped := s.CrawlShard(0)
+	if reaped != 1 {
+		t.Fatalf("reaped = %d, want 1", reaped)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+}
+
+func TestConcurrentStoreAccess(t *testing.T) {
+	s := NewStore(StoreConfig{Shards: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := KeyName(uint64(i % 64))
+				switch i % 4 {
+				case 0:
+					s.Set(ModeSet, key, []byte(strconv.Itoa(i)), 0, 0, 0)
+				case 1, 2:
+					s.Get(key)
+				case 3:
+					s.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Consistency: CurrItems matches table contents.
+	live := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		live += len(sh.table)
+		sh.mu.Unlock()
+	}
+	if int64(live) != s.Stats.CurrItems.Load() {
+		t.Fatalf("CurrItems %d != table size %d", s.Stats.CurrItems.Load(), live)
+	}
+}
+
+// TestQuickLRUListConsistent: any set/get/delete sequence leaves each
+// shard's LRU list containing exactly the table's items.
+func TestQuickLRUListConsistent(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		s := NewStore(StoreConfig{Shards: 1, MaxBytes: 512})
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%32)
+			switch op % 3 {
+			case 0:
+				s.Set(ModeSet, key, make([]byte, 16), 0, 0, 0)
+			case 1:
+				s.Get(key)
+			case 2:
+				s.Delete(key)
+			}
+		}
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		// Walk the list; every node must be in the table and counted
+		// once, with consistent back-links.
+		n := 0
+		var prev *Item
+		for it := sh.head; it != nil; it = it.next {
+			if sh.table[it.Key] != it {
+				return false
+			}
+			if it.prev != prev {
+				return false
+			}
+			prev = it
+			n++
+			if n > len(sh.table) {
+				return false // cycle
+			}
+		}
+		return n == len(sh.table) && sh.tail == prev
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package memcached
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+
+	"icilk"
+	"icilk/internal/netreal"
+)
+
+// TestICilkServerOverRealTCP runs the task-parallel memcached over a
+// real loopback TCP socket and drives it with a plain bufio client —
+// the deployment path of cmd/memcached-server.
+func TestICilkServerOverRealTCP(t *testing.T) {
+	rt, err := icilk.New(icilk.Config{Workers: 2, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	store := NewStore(StoreConfig{})
+	srv := NewICilkServer(store, rt, ICilkConfig{})
+	srv.StartCrawler()
+	defer srv.Close()
+
+	nl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	defer nl.Close()
+	go func() {
+		for {
+			nc, err := nl.Accept()
+			if err != nil {
+				return
+			}
+			srv.HandleConn(netreal.Wrap(nc))
+		}
+	}()
+
+	cli, err := net.Dial("tcp", nl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	rd := bufio.NewReader(cli)
+	expect := func(req, want string) {
+		t.Helper()
+		if _, err := cli.Write([]byte(req)); err != nil {
+			t.Fatal(err)
+		}
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(line, want) {
+			t.Fatalf("req %q -> %q, want prefix %q", req, line, want)
+		}
+	}
+
+	expect("set tcp 0 0 3\r\nabc\r\n", "STORED")
+	expect("get tcp\r\n", "VALUE tcp 0 3")
+	// Drain the remainder of the get response.
+	rd.ReadString('\n') // abc
+	rd.ReadString('\n') // END
+	expect("delete tcp\r\n", "DELETED")
+	expect("version\r\n", "VERSION")
+}

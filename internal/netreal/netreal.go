@@ -1,0 +1,133 @@
+// Package netreal adapts real net.Conn connections (TCP, unix
+// sockets) to the icilk.Conn surface, so the task-parallel servers in
+// this repository can serve actual network clients, not only the
+// in-memory netsim substrate used by the benchmarks.
+//
+// Go's net.Conn offers only blocking reads, so each adapted
+// connection runs one pump goroutine that moves bytes from the socket
+// into an internal buffer; TryRead/ArmRead operate on that buffer
+// with the same semantics as netsim.Endpoint. The pump goroutine is
+// cheap (parked in the kernel most of the time) and plays the role
+// the paper's I/O subsystem delegates to the OS: detecting readiness
+// and ordering completions.
+package netreal
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// bufferSoftCap pauses the pump when a client floods faster than the
+// server consumes, providing backpressure.
+const bufferSoftCap = 1 << 20
+
+// Conn adapts a net.Conn to the icilk.Conn interface.
+type Conn struct {
+	nc net.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	pos    int
+	rerr   error  // terminal read error (io.EOF after drain)
+	notify func() // armed one-shot readiness callback
+	closed bool
+}
+
+// Wrap starts the read pump over nc and returns the adapter.
+func Wrap(nc net.Conn) *Conn {
+	c := &Conn{nc: nc}
+	c.cond = sync.NewCond(&c.mu)
+	go c.pump()
+	return c
+}
+
+// pump moves bytes from the socket into the buffer and fires
+// readiness.
+func (c *Conn) pump() {
+	var chunk [16 * 1024]byte
+	for {
+		n, err := c.nc.Read(chunk[:])
+		c.mu.Lock()
+		if n > 0 {
+			c.buf = append(c.buf, chunk[:n]...)
+		}
+		if err != nil {
+			c.rerr = err
+		}
+		fn := c.notify
+		c.notify = nil
+		c.cond.Broadcast()
+		// Backpressure: wait for the consumer to drain.
+		for len(c.buf)-c.pos > bufferSoftCap && c.rerr == nil && !c.closed {
+			c.cond.Wait()
+		}
+		stop := c.rerr != nil || c.closed
+		c.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+// TryRead copies buffered bytes without blocking; n==0 with nil error
+// means "would block"; io.EOF after the peer closes and the buffer
+// drains.
+func (c *Conn) TryRead(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pos < len(c.buf) {
+		n := copy(p, c.buf[c.pos:])
+		c.pos += n
+		if c.pos == len(c.buf) {
+			c.buf = c.buf[:0]
+			c.pos = 0
+			c.cond.Broadcast() // release pump backpressure
+		}
+		return n, nil
+	}
+	if c.rerr != nil {
+		if c.rerr == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, c.rerr
+	}
+	return 0, nil
+}
+
+// ArmRead registers a one-shot readiness callback (fires immediately
+// if data or a terminal error is already pending).
+func (c *Conn) ArmRead(fn func()) {
+	c.mu.Lock()
+	if c.pos < len(c.buf) || c.rerr != nil {
+		c.mu.Unlock()
+		fn()
+		return
+	}
+	if c.notify != nil {
+		c.mu.Unlock()
+		panic("netreal: ArmRead while already armed")
+	}
+	c.notify = fn
+	c.mu.Unlock()
+}
+
+// Write sends bytes to the peer (delegates to the socket; may block
+// on TCP backpressure, which parks only the calling goroutine).
+func (c *Conn) Write(p []byte) (int, error) { return c.nc.Write(p) }
+
+// WriteString sends s.
+func (c *Conn) WriteString(s string) (int, error) { return c.nc.Write([]byte(s)) }
+
+// Close shuts the socket and the pump down.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return c.nc.Close()
+}

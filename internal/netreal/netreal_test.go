@@ -1,0 +1,118 @@
+package netreal
+
+import (
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pipePair returns two adapted ends of an in-process net.Pipe.
+func pipePair() (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return Wrap(a), b
+}
+
+func waitReadable(t *testing.T, c *Conn) {
+	t.Helper()
+	done := make(chan struct{})
+	c.ArmRead(func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("connection never became readable")
+	}
+}
+
+func TestTryReadAfterPump(t *testing.T) {
+	c, peer := pipePair()
+	defer c.Close()
+	go peer.Write([]byte("hello"))
+	waitReadable(t, c)
+	var buf [16]byte
+	n, err := c.TryRead(buf[:])
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("TryRead = %q, %v", buf[:n], err)
+	}
+	// Drained: would-block.
+	n, err = c.TryRead(buf[:])
+	if n != 0 || err != nil {
+		t.Fatalf("empty TryRead = %d, %v", n, err)
+	}
+}
+
+func TestEOF(t *testing.T) {
+	c, peer := pipePair()
+	defer c.Close()
+	go func() {
+		peer.Write([]byte("x"))
+		peer.Close()
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	var got []byte
+	for {
+		var buf [8]byte
+		n, err := c.TryRead(buf[:])
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no EOF; got %q", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if string(got) != "x" {
+		t.Fatalf("data before EOF = %q", got)
+	}
+}
+
+func TestArmReadOneShot(t *testing.T) {
+	c, peer := pipePair()
+	defer c.Close()
+	var fires atomic.Int32
+	c.ArmRead(func() { fires.Add(1) })
+	peer.Write([]byte("a"))
+	deadline := time.Now().Add(time.Second)
+	for fires.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("armed callback never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Second write without re-arming must not re-fire.
+	peer.Write([]byte("b"))
+	time.Sleep(5 * time.Millisecond)
+	if fires.Load() != 1 {
+		t.Fatalf("one-shot fired %d times", fires.Load())
+	}
+	// Immediate fire when data is already pending.
+	fired := false
+	c.ArmRead(func() { fired = true })
+	if !fired {
+		t.Fatal("ArmRead with pending data did not fire synchronously")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	c, peer := pipePair()
+	defer c.Close()
+	go func() {
+		var buf [8]byte
+		n, _ := peer.Read(buf[:])
+		peer.Write(buf[:n]) // echo
+	}()
+	if _, err := c.WriteString("ping"); err != nil {
+		t.Fatal(err)
+	}
+	waitReadable(t, c)
+	var buf [8]byte
+	n, _ := c.TryRead(buf[:])
+	if string(buf[:n]) != "ping" {
+		t.Fatalf("echo = %q", buf[:n])
+	}
+}

@@ -1,0 +1,263 @@
+// Package netsim provides the in-memory network substrate used by all
+// the server benchmarks: full-duplex byte-stream connections with a
+// readiness-notification API.
+//
+// The paper's experiments run Memcached over real sockets with kernel
+// epoll underneath; this repository substitutes in-memory pipes (the
+// reproduction targets scheduler behaviour, not the kernel network
+// stack). The substitution preserves the properties the schedulers
+// care about:
+//
+//   - reads block (logically) until the peer writes, so server-side
+//     request handling hits real suspension points;
+//   - readiness events fire in completion order, which is the source
+//     of the implicit aging heuristic in the pthread/libevent baseline
+//     and of the resumption order seen by I/O futures.
+//
+// An Endpoint supports three read styles: TryRead (non-blocking, for
+// event-loop servers), Read (blocking, for plain client goroutines),
+// and ArmRead (one-shot readiness callback, composed by levent and by
+// the I/O-future layer).
+package netsim
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrClosed is returned by writes on a closed connection.
+var ErrClosed = errors.New("netsim: connection closed")
+
+// buffer is one direction of a connection.
+type buffer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool
+	// notify is the armed one-shot readiness callback; nil when
+	// disarmed. It fires (outside the lock) when data arrives or the
+	// stream closes.
+	notify func()
+}
+
+func newBuffer() *buffer {
+	b := &buffer{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// write appends p and fires readiness.
+func (b *buffer) write(p []byte) (int, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, ErrClosed
+	}
+	b.data = append(b.data, p...)
+	fn := b.notify
+	b.notify = nil
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return len(p), nil
+}
+
+// tryRead copies up to len(p) bytes without blocking. n==0 with
+// err==nil means no data available right now.
+func (b *buffer) tryRead(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.data) == 0 {
+		if b.closed {
+			return 0, io.EOF
+		}
+		return 0, nil
+	}
+	n := copy(p, b.data)
+	b.consume(n)
+	return n, nil
+}
+
+// consume drops n leading bytes; callers hold mu.
+func (b *buffer) consume(n int) {
+	rest := len(b.data) - n
+	if rest == 0 {
+		b.data = b.data[:0]
+		return
+	}
+	copy(b.data, b.data[n:])
+	b.data = b.data[:rest]
+}
+
+// read blocks until data or EOF.
+func (b *buffer) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.data) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data)
+	b.consume(n)
+	return n, nil
+}
+
+// armRead registers fn as a one-shot readiness callback. If data is
+// already available (or the stream has closed) fn fires immediately
+// on the caller's goroutine.
+func (b *buffer) armRead(fn func()) {
+	b.mu.Lock()
+	if len(b.data) > 0 || b.closed {
+		b.mu.Unlock()
+		fn()
+		return
+	}
+	if b.notify != nil {
+		b.mu.Unlock()
+		panic("netsim: ArmRead while already armed")
+	}
+	b.notify = fn
+	b.mu.Unlock()
+}
+
+// closeBuf marks EOF and fires readiness so pending readers observe
+// the close.
+func (b *buffer) closeBuf() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	fn := b.notify
+	b.notify = nil
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+func (b *buffer) readable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.data) > 0 || b.closed
+}
+
+func (b *buffer) buffered() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.data)
+}
+
+// Endpoint is one side of a duplex connection.
+type Endpoint struct {
+	rd *buffer // peer writes here, we read
+	wr *buffer // we write here, peer reads
+	// ID is a caller-assigned connection identifier (diagnostics).
+	ID int
+}
+
+// Pipe creates a connected pair of endpoints.
+func Pipe() (a, b *Endpoint) {
+	x, y := newBuffer(), newBuffer()
+	return &Endpoint{rd: x, wr: y}, &Endpoint{rd: y, wr: x}
+}
+
+// Write sends p to the peer. It never blocks (the buffer is
+// unbounded) and returns ErrClosed after Close.
+func (e *Endpoint) Write(p []byte) (int, error) { return e.wr.write(p) }
+
+// WriteString sends s to the peer.
+func (e *Endpoint) WriteString(s string) (int, error) { return e.wr.write([]byte(s)) }
+
+// TryRead copies available bytes into p without blocking; n==0,
+// err==nil means "would block". err==io.EOF means the peer closed and
+// all data has been drained.
+func (e *Endpoint) TryRead(p []byte) (int, error) { return e.rd.tryRead(p) }
+
+// Read blocks until data is available or the peer closes (io.EOF).
+func (e *Endpoint) Read(p []byte) (int, error) { return e.rd.read(p) }
+
+// ArmRead registers a one-shot callback invoked when the endpoint
+// becomes readable (data or EOF). If it is readable now, the callback
+// runs synchronously. Only one callback may be armed at a time.
+func (e *Endpoint) ArmRead(fn func()) { e.rd.armRead(fn) }
+
+// Readable reports whether a TryRead would return data or EOF.
+func (e *Endpoint) Readable() bool { return e.rd.readable() }
+
+// Buffered returns the number of bytes waiting to be read.
+func (e *Endpoint) Buffered() int { return e.rd.buffered() }
+
+// Close shuts down both directions: the peer sees EOF after draining,
+// and further writes on either side fail.
+func (e *Endpoint) Close() error {
+	e.wr.closeBuf()
+	e.rd.closeBuf()
+	return nil
+}
+
+// Listener is a rendezvous for connection establishment, playing the
+// role of a listening socket.
+type Listener struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []*Endpoint
+	closed  bool
+	nextID  int
+}
+
+// NewListener returns an open listener.
+func NewListener() *Listener {
+	l := &Listener{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Dial creates a connection to the listener and returns the client
+// endpoint. The server endpoint is queued for Accept.
+func (l *Listener) Dial() (*Endpoint, error) {
+	client, server := Pipe()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	l.nextID++
+	client.ID = l.nextID
+	server.ID = l.nextID
+	l.backlog = append(l.backlog, server)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return client, nil
+}
+
+// Accept blocks until a connection arrives or the listener closes.
+func (l *Listener) Accept() (*Endpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.backlog) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.backlog) == 0 {
+		return nil, ErrClosed
+	}
+	ep := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return ep, nil
+}
+
+// Close unblocks pending and future Accept/Dial calls.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}

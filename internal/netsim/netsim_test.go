@@ -1,0 +1,218 @@
+package netsim
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWriteThenTryRead(t *testing.T) {
+	a, b := Pipe()
+	if _, err := a.WriteString("hello"); err != nil {
+		t.Fatal(err)
+	}
+	var buf [16]byte
+	n, err := b.TryRead(buf[:])
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("TryRead = %q, %v", buf[:n], err)
+	}
+	// Nothing left: would-block.
+	n, err = b.TryRead(buf[:])
+	if n != 0 || err != nil {
+		t.Fatalf("empty TryRead = %d, %v", n, err)
+	}
+}
+
+func TestDuplex(t *testing.T) {
+	a, b := Pipe()
+	a.WriteString("ping")
+	b.WriteString("pong")
+	var buf [8]byte
+	n, _ := b.TryRead(buf[:])
+	if string(buf[:n]) != "ping" {
+		t.Fatalf("b read %q", buf[:n])
+	}
+	n, _ = a.TryRead(buf[:])
+	if string(buf[:n]) != "pong" {
+		t.Fatalf("a read %q", buf[:n])
+	}
+}
+
+func TestBlockingRead(t *testing.T) {
+	a, b := Pipe()
+	done := make(chan string)
+	go func() {
+		var buf [8]byte
+		n, _ := b.Read(buf[:])
+		done <- string(buf[:n])
+	}()
+	time.Sleep(2 * time.Millisecond)
+	a.WriteString("late")
+	select {
+	case got := <-done:
+		if got != "late" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocking read never woke")
+	}
+}
+
+func TestEOFAfterClose(t *testing.T) {
+	a, b := Pipe()
+	a.WriteString("tail")
+	a.Close()
+	var buf [8]byte
+	n, err := b.TryRead(buf[:])
+	if err != nil || string(buf[:n]) != "tail" {
+		t.Fatalf("drain = %q, %v", buf[:n], err)
+	}
+	if _, err := b.TryRead(buf[:]); err != io.EOF {
+		t.Fatalf("after drain err = %v, want EOF", err)
+	}
+	if _, err := b.Read(buf[:]); err != io.EOF {
+		t.Fatalf("blocking read err = %v, want EOF", err)
+	}
+	if _, err := a.WriteString("x"); err != ErrClosed {
+		t.Fatalf("write after close err = %v", err)
+	}
+}
+
+func TestArmReadFiresOnWrite(t *testing.T) {
+	a, b := Pipe()
+	var fired atomic.Int32
+	b.ArmRead(func() { fired.Add(1) })
+	if fired.Load() != 0 {
+		t.Fatal("armed callback fired early")
+	}
+	a.WriteString("x")
+	if fired.Load() != 1 {
+		t.Fatal("callback did not fire on write")
+	}
+	// One-shot: second write must not re-fire.
+	a.WriteString("y")
+	if fired.Load() != 1 {
+		t.Fatal("one-shot callback fired twice")
+	}
+}
+
+func TestArmReadImmediateWhenReadable(t *testing.T) {
+	a, b := Pipe()
+	a.WriteString("already")
+	fired := false
+	b.ArmRead(func() { fired = true })
+	if !fired {
+		t.Fatal("ArmRead on readable endpoint did not fire synchronously")
+	}
+}
+
+func TestArmReadFiresOnClose(t *testing.T) {
+	a, b := Pipe()
+	var fired atomic.Bool
+	b.ArmRead(func() { fired.Store(true) })
+	a.Close()
+	if !fired.Load() {
+		t.Fatal("close did not fire readiness")
+	}
+}
+
+func TestDoubleArmPanics(t *testing.T) {
+	_, b := Pipe()
+	b.ArmRead(func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double arm did not panic")
+		}
+	}()
+	b.ArmRead(func() {})
+}
+
+func TestReadableAndBuffered(t *testing.T) {
+	a, b := Pipe()
+	if b.Readable() || b.Buffered() != 0 {
+		t.Fatal("fresh endpoint readable")
+	}
+	a.WriteString("abc")
+	if !b.Readable() || b.Buffered() != 3 {
+		t.Fatalf("readable=%v buffered=%d", b.Readable(), b.Buffered())
+	}
+}
+
+func TestListenerAcceptDial(t *testing.T) {
+	ln := NewListener()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		var buf [8]byte
+		n, _ := srv.Read(buf[:])
+		srv.Write(buf[:n]) // echo
+	}()
+	cli, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.WriteString("echo!")
+	var buf [8]byte
+	n, _ := cli.Read(buf[:])
+	if string(buf[:n]) != "echo!" {
+		t.Fatalf("echo = %q", buf[:n])
+	}
+	wg.Wait()
+	if cli.ID == 0 {
+		t.Fatal("connection ID not assigned")
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	ln := NewListener()
+	done := make(chan error)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	ln.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("accept after close = %v", err)
+	}
+	if _, err := ln.Dial(); err != ErrClosed {
+		t.Fatalf("dial after close = %v", err)
+	}
+}
+
+func TestConcurrentWritersSingleReader(t *testing.T) {
+	a, b := Pipe()
+	const writers = 4
+	const per = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.WriteString("x")
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	var buf [512]byte
+	for total < writers*per {
+		n, err := b.TryRead(buf[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("data missing: got %d of %d", total, writers*per)
+		}
+		total += n
+	}
+}

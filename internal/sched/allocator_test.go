@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// adaptiveCfg returns a fast-quantum adaptive config for allocator
+// observation.
+func adaptiveCfg(policy PolicyKind, levels int) Config {
+	return Config{
+		Workers: 4, Levels: levels, Policy: policy,
+		Adaptive: AdaptiveParams{Quantum: time.Millisecond, Delta: 0.5, Rho: 2},
+	}
+}
+
+// waitAssigned polls until pred(assignments) holds or times out.
+func waitAssigned(t *testing.T, rt *Runtime, what string, pred func([]int) bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if pred(rt.assignments()) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("allocator never %s; assignments=%v", what, rt.assignments())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAllocatorStaffsBusyLevel: sustained work at one level draws
+// workers to it within a few quanta; when the work ends, the workers
+// are parked again.
+func TestAllocatorStaffsBusyLevel(t *testing.T) {
+	rt := newTestRuntime(t, adaptiveCfg(AdaptiveGreedy, 3))
+	stop := make(chan struct{})
+	var futs []*Future
+	for i := 0; i < 4; i++ {
+		futs = append(futs, rt.SubmitFuture(2, func(task *Task) any {
+			for {
+				select {
+				case <-stop:
+					return nil
+				default:
+					task.Yield()
+				}
+			}
+		}))
+	}
+	waitAssigned(t, rt, "staffed level 2", func(a []int) bool {
+		n := 0
+		for _, l := range a {
+			if l == 2 {
+				n++
+			}
+		}
+		return n >= 1
+	})
+	close(stop)
+	for _, f := range futs {
+		f.Wait()
+	}
+	waitAssigned(t, rt, "parked all workers", func(a []int) bool {
+		for _, l := range a {
+			if l != -1 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestAllocatorPrefersHigherPriority: with both levels saturated and
+// more demand than workers, the higher-priority level is staffed at
+// least as well as the lower one.
+func TestAllocatorPrefersHigherPriority(t *testing.T) {
+	rt := newTestRuntime(t, adaptiveCfg(AdaptiveGreedy, 2))
+	stop := make(chan struct{})
+	var futs []*Future
+	for lvl := 0; lvl < 2; lvl++ {
+		for i := 0; i < 6; i++ {
+			lvl := lvl
+			futs = append(futs, rt.SubmitFuture(lvl, func(task *Task) any {
+				for {
+					select {
+					case <-stop:
+						return nil
+					default:
+						task.Yield()
+					}
+				}
+			}))
+		}
+	}
+	// Let the allocator settle, then sample repeatedly.
+	time.Sleep(20 * time.Millisecond)
+	okSamples, samples := 0, 0
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && samples < 50 {
+		a := rt.assignments()
+		hi, lo := 0, 0
+		for _, l := range a {
+			switch l {
+			case 0:
+				hi++
+			case 1:
+				lo++
+			}
+		}
+		if hi >= lo && hi >= 1 {
+			okSamples++
+		}
+		samples++
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	for _, f := range futs {
+		f.Wait()
+	}
+	// Transients are allowed; the steady state must favor level 0.
+	if okSamples*2 < samples {
+		t.Fatalf("level 0 staffed >= level 1 in only %d/%d samples", okSamples, samples)
+	}
+}
+
+// TestAdaptiveGreedySwitchesOnReassignment: a worker whose assignment
+// moves to a higher level abandons mid-task at the next scheduling
+// point — the quantum-bounded (rather than prompt) reaction.
+func TestAdaptiveGreedySwitchesOnReassignment(t *testing.T) {
+	rt := newTestRuntime(t, Config{
+		Workers: 1, Levels: 2, Policy: AdaptiveGreedy,
+		Adaptive: AdaptiveParams{Quantum: time.Millisecond, Delta: 0.5, Rho: 2},
+	})
+	stop := make(chan struct{})
+	low := rt.SubmitFuture(1, func(task *Task) any {
+		for {
+			select {
+			case <-stop:
+				return nil
+			default:
+				task.Yield()
+			}
+		}
+	})
+	// Let the single worker settle onto level 1, then offer level-0
+	// work: the next quantum must reassign the worker, and the task
+	// must abandon at a Yield.
+	time.Sleep(10 * time.Millisecond)
+	hi := rt.SubmitFuture(0, func(*Task) any { return "hi" })
+	if got := hi.Wait().(string); got != "hi" {
+		t.Fatalf("got %q", got)
+	}
+	close(stop)
+	low.Wait()
+	if rep := rt.WasteReport(); rep.Abandons == 0 {
+		t.Fatal("no abandonment recorded despite reassignment")
+	}
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"icilk/internal/deque"
+	"icilk/internal/fifoq"
+	"icilk/internal/trace"
+)
+
+// centralPool is the paper's centralized per-priority-level deque
+// pool: for each level, a regular FIFO queue plus a mugging queue
+// holding only abandoned (immediately-resumable) deques. Thieves
+// check the mugging queue first so abandoned deques are not "de-aged"
+// behind deques that became resumable after them (Section 4, "Support
+// for Aging").
+//
+// The pool is shared by the Prompt policy and by AdaptiveGreedy's
+// bottom level.
+type centralPool struct {
+	rt     *Runtime
+	levels []centralLevel
+}
+
+type centralLevel struct {
+	regular *fifoq.Queue[*dq]
+	mugging *fifoq.Queue[*dq]
+}
+
+func newCentralPool(rt *Runtime) *centralPool {
+	p := &centralPool{rt: rt, levels: make([]centralLevel, rt.cfg.Levels)}
+	for i := range p.levels {
+		p.levels[i] = centralLevel{
+			regular: fifoq.New[*dq](rt.col),
+			mugging: fifoq.New[*dq](rt.col),
+		}
+	}
+	return p
+}
+
+// enqueue pushes d onto its level's queue (mugging when mug is true)
+// and sets the level's bitfield bit — "a worker, when enqueuing a
+// deque into a pool, always sets the corresponding bit". The caller
+// must have set the deque's queue-presence flag (the deque methods'
+// needsEnqueue contract does this atomically with the state change).
+func (p *centralPool) enqueue(d *dq, mug bool) {
+	h := p.rt.handle()
+	lvl := d.Level()
+	if mug {
+		p.levels[lvl].mugging.Enqueue(h, d)
+	} else {
+		p.levels[lvl].regular.Enqueue(h, d)
+	}
+	p.rt.release(h)
+	p.rt.bits.Set(lvl)
+	p.rt.trace.Add(trace.Enqueue, -1, lvl)
+}
+
+// empty reports whether the level's pool (both queues) appears empty.
+func (p *centralPool) empty(level int) bool {
+	return p.levels[level].mugging.Empty() && p.levels[level].regular.Empty()
+}
+
+// pop tries to extract one runnable frame at the given level for
+// worker w, following the paper's thief protocol: pop a deque off the
+// head (mugging queue first); mug it if resumable, steal its top frame
+// if it has one, drop it if empty (lazy removal); push it back on the
+// regular queue's tail if it still holds stealable work. On a steal
+// the frame is adopted onto a fresh active deque for the thief.
+func (p *centralPool) pop(w *worker, level int) (*node, *dq, bool) {
+	lp := &p.levels[level]
+	for {
+		fromMugging := true
+		d, ok := lp.mugging.Dequeue(w.part)
+		if !ok {
+			fromMugging = false
+			d, ok = lp.regular.Dequeue(w.part)
+		}
+		if !ok {
+			return nil, nil, false
+		}
+		res, frame, pushBack := d.TakeForThief(fromMugging)
+		switch res {
+		case deque.PopDiscard:
+			// Empty or dead deque that lingered in the queue: drop it
+			// and keep looking (multiple queue accesses per steal are
+			// the accepted price of the simple queue design).
+			p.rt.trace.Add(trace.Drop, w.id, level)
+			continue
+		case deque.PopMug:
+			if pushBack {
+				p.enqueue(d, false)
+			}
+			w.clock.CountMug()
+			p.rt.trace.Add(trace.Mug, w.id, level)
+			return frame.(*node), d, true
+		case deque.PopSteal:
+			if pushBack {
+				p.enqueue(d, false)
+			}
+			w.clock.CountSteal()
+			p.rt.trace.Add(trace.Steal, w.id, level)
+			nd := p.rt.newDeque(level)
+			return frame.(*node), nd, true
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package sched
+
+// Test-only accessors.
+
+// assignments returns each worker's current allocator-assigned level
+// (-1 = parked). Only meaningful under the Adaptive policies.
+func (rt *Runtime) assignments() []int {
+	out := make([]int, len(rt.workers))
+	for i, w := range rt.workers {
+		out[i] = int(w.assigned.Load())
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"sync"
+
+	"icilk/internal/trace"
+)
+
+// Future is the handle returned by FutCreate, SubmitFuture, and
+// NewIOFuture. A future completes exactly once — when its routine
+// returns, or when external code (an I/O handler thread) calls
+// Complete. Get is the task-side wait; Wait is for plain goroutines
+// outside the runtime (clients, harnesses).
+//
+// I/O futures (Section 2: "I/Os in Prompt I-Cilk are expressed using
+// I/O futures, a special type of future") are Futures completed by the
+// I/O subsystem rather than by a task; the scheduler treats both
+// identically: a failed Get suspends the caller's whole deque, and
+// completion makes every waiting deque resumable and re-enqueues it.
+type Future struct {
+	rt *Runtime
+
+	mu      sync.Mutex
+	done    bool
+	val     any
+	waiters []*dq // deques suspended on this future
+
+	// ch is closed at completion for external waiters.
+	ch chan struct{}
+
+	// result stages the future routine's return value between the
+	// routine returning and finish() publishing it; only the task
+	// goroutine touches it.
+	result any
+
+	// ownerLevel is the priority level of the task computing this
+	// future, or -1 for externally-completed (I/O) futures — used by
+	// the dynamic priority-inversion detector.
+	ownerLevel int
+}
+
+func newFuture(rt *Runtime) *Future {
+	return &Future{rt: rt, ch: make(chan struct{}), ownerLevel: -1}
+}
+
+// NewIOFuture creates a future that will be completed externally via
+// Complete — the runtime's representation of an in-flight I/O
+// operation.
+func (rt *Runtime) NewIOFuture() *Future { return newFuture(rt) }
+
+// Complete fulfills the future with v. It must be called exactly once
+// and only for externally-completed (I/O) futures; futures backed by a
+// task routine complete themselves.
+func (f *Future) Complete(v any) { f.complete(v) }
+
+// complete publishes the value and makes every waiting deque
+// resumable, re-enqueuing it into its level's pool.
+func (f *Future) complete(v any) {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		panic("sched: future completed twice")
+	}
+	f.done = true
+	f.val = v
+	ws := f.waiters
+	f.waiters = nil
+	close(f.ch)
+	f.mu.Unlock()
+
+	for _, d := range ws {
+		needsEnqueue := d.MarkResumable()
+		f.rt.trace.Add(trace.Resume, -1, d.Level())
+		f.rt.pol.onResumable(d, needsEnqueue)
+	}
+}
+
+// TryGet returns the value if the future is already complete.
+func (f *Future) TryGet() (any, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val, f.done
+}
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done
+}
+
+// Get returns the future's value, suspending the calling task's whole
+// deque if the future is not yet complete (proactive work stealing's
+// failed-get rule: "the worker suspends the deque and tries to find
+// work via work stealing").
+func (f *Future) Get(t *Task) any {
+	t.maybeSwitch()
+	t.rt.checkGetInversion(t, f)
+	f.mu.Lock()
+	if f.done {
+		v := f.val
+		f.mu.Unlock()
+		return v
+	}
+	// Suspend under f.mu so a concurrent completion cannot observe the
+	// waiter before the deque is in the Suspended state. Lock order
+	// f.mu → d.mu is used by completion as well.
+	d := t.w.active
+	d.Suspend(t.n)
+	f.waiters = append(f.waiters, d)
+	f.mu.Unlock()
+	t.rt.trace.Add(trace.Suspend, t.w.id, t.level)
+
+	t.rt.pol.onSuspend(t.w, d)
+	t.parkAfter(yieldMsg{kind: yGetWait})
+
+	// Resumed: the future must be complete.
+	f.mu.Lock()
+	v := f.val
+	f.mu.Unlock()
+	return v
+}
+
+// Wait blocks the calling (non-task) goroutine until completion and
+// returns the value. Load generators and tests use this.
+func (f *Future) Wait() any {
+	<-f.ch
+	f.mu.Lock()
+	v := f.val
+	f.mu.Unlock()
+	return v
+}
+
+// WaitChan returns a channel closed at completion, for select loops.
+func (f *Future) WaitChan() <-chan struct{} { return f.ch }
+
+// submitNode wraps a fresh node in a resumable deque at the given
+// level and hands it to the policy's pool — the "toss" of footnote 3
+// and the entry path for external submissions.
+func (rt *Runtime) submitNode(n *node, level int) {
+	d := rt.newDeque(level)
+	d.Suspend(n)
+	needsEnqueue := d.MarkResumable()
+	rt.pol.onResumable(d, needsEnqueue)
+}
+
+// SubmitFuture injects fn as a new future routine at the given level
+// from outside the runtime (server accept loops, request generators).
+// Safe to call from any goroutine.
+func (rt *Runtime) SubmitFuture(level int, fn func(*Task) any) *Future {
+	if level < 0 || level >= rt.cfg.Levels {
+		panic("sched: SubmitFuture level out of range")
+	}
+	f := newFuture(rt)
+	f.ownerLevel = level
+	rt.inflight.Add(1)
+	n := rt.newNode(level, nil, func(t *Task) {
+		t.fut = f
+		f.result = fn(t)
+		rt.inflight.Add(-1)
+	})
+	rt.submitNode(n, level)
+	return f
+}
+
+// Run executes fn as a level-0 future routine and blocks until it
+// returns, propagating its result — the simplest way to run a
+// fork-join computation to completion.
+func (rt *Runtime) Run(fn func(*Task) any) any {
+	return rt.SubmitFuture(0, fn).Wait()
+}

@@ -1,0 +1,51 @@
+package sched
+
+// policy is the scheduling strategy plugged into the runtime. The
+// worker loop and task operations call these hooks at the transitions
+// the paper's schedulers distinguish; each policy keeps the deques at
+// each priority level discoverable in its own way (centralized FIFO
+// queues for Prompt and the bottom level of AdaptiveGreedy; per-worker
+// locked pools for Adaptive and AdaptiveAging).
+type policy interface {
+	// start launches any policy goroutines (the Adaptive allocator).
+	start()
+	// stop terminates them; called once from Runtime.Close.
+	stop()
+
+	// findWork blocks until it has a frame for worker w to run,
+	// returning the frame and the deque that is to become w's active
+	// deque. It returns (nil, nil) only at shutdown.
+	findWork(w *worker) (*node, *dq)
+
+	// onOwnerPush fires after the owner pushed a continuation frame on
+	// its active deque d. needsEnqueue is true when the deque was
+	// absent from the pool queues and must be made discoverable
+	// (meaningful for the centralized-pool policies).
+	onOwnerPush(w *worker, d *dq, needsEnqueue bool)
+
+	// onAdopt fires when worker w starts a brand-new empty active
+	// deque d outside findWork (adopting a sync-released parent).
+	onAdopt(w *worker, d *dq)
+
+	// onSuspend fires after the owner suspended d at a failed get.
+	onSuspend(w *worker, d *dq)
+
+	// onResumable fires when d transitioned Suspended→Resumable
+	// (future completed) or when a fresh resumable deque enters the
+	// system (external submission, cross-priority toss). It may be
+	// called from any goroutine, including I/O handler threads.
+	onResumable(d *dq, needsEnqueue bool)
+
+	// onAbandon fires after worker w abandoned d (now
+	// immediately-resumable) to move to a different priority level.
+	onAbandon(w *worker, d *dq, needsEnqueue bool)
+
+	// onDequeDead fires when a deque emptied out and died.
+	onDequeDead(w *worker, d *dq)
+
+	// checkSwitch decides whether the task running at level on w
+	// should abandon its deque and move; it returns the target level.
+	// This is Prompt's frequent bitfield check, and the
+	// assignment-changed check for the Adaptive variants.
+	checkSwitch(w *worker, level int) (int, bool)
+}

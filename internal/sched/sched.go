@@ -1,0 +1,442 @@
+// Package sched implements the task-parallel runtime at the core of
+// this reproduction: a worker pool executing fork-join tasks and
+// futures over execution-context deques (proactive work stealing), with
+// four interchangeable scheduling policies:
+//
+//   - Prompt (this paper's contribution, Section 4): one centralized
+//     pool of deques per priority level, implemented as two
+//     non-blocking FIFO queues (a regular queue and a mugging queue
+//     for abandoned, immediately-resumable deques), a global 64-bit
+//     bitfield of levels with available work checked at every spawn /
+//     sync / fut-create / get and before every steal, and
+//     condition-variable sleep when the bitfield is all-zero.
+//   - Adaptive (Adaptive I-Cilk, the prior state of the art): a
+//     two-level scheduler; the top level reassigns workers to priority
+//     levels at quantum boundaries from per-level utilization, the
+//     bottom level is randomized work stealing over per-worker,
+//     lock-protected deque pools with periodic rebalancing and a
+//     strict no-non-stealable-deques invariant.
+//   - AdaptiveAging: Adaptive plus a per-worker FIFO of resumable
+//     deques in resumption order, giving a per-worker approximation of
+//     the aging heuristic.
+//   - AdaptiveGreedy: the Adaptive top level over Prompt's
+//     centralized, unrandomized bottom level.
+//
+// # Execution model
+//
+// Go does not expose stack splitting or user-level continuations, so a
+// task's continuation cannot be reified the way a Cilk runtime reifies
+// frames. Instead, every task (spawned function, future routine)
+// runs on its own goroutine that is *gated*: it executes only while it
+// holds a worker's token. A worker resumes a task by sending itself on
+// the task's resume channel and then blocks on its own yield channel;
+// the task runs user code until it reaches a scheduling point (spawn,
+// sync, get, completion, abandonment), posts a yield directive, and
+// parks. This preserves the paper's deque semantics exactly — spawn
+// pushes the parent's continuation frame (the parked parent) on the
+// deque bottom and the worker continues with the child; a failed get
+// suspends the whole deque; a thief steals the top frame or mugs a
+// resumable deque — at the cost of two channel operations per context
+// switch, which is the same for every policy and therefore cancels
+// out of all comparisons.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icilk/internal/deque"
+	"icilk/internal/epoch"
+	"icilk/internal/prio"
+	"icilk/internal/stats"
+	"icilk/internal/trace"
+	"icilk/internal/xrand"
+)
+
+// dq is the deque type used throughout the scheduler; frames are
+// *node values (the deque stores them type-erased).
+type dq = deque.Deque
+
+// PolicyKind selects the scheduling policy.
+type PolicyKind int
+
+const (
+	// Prompt is the paper's Prompt I-Cilk scheduler.
+	Prompt PolicyKind = iota
+	// Adaptive is Adaptive I-Cilk (Singer et al.).
+	Adaptive
+	// AdaptiveAging is Adaptive I-Cilk plus per-worker aging queues.
+	AdaptiveAging
+	// AdaptiveGreedy is the Adaptive top level over Prompt's
+	// centralized bottom level.
+	AdaptiveGreedy
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case Prompt:
+		return "prompt"
+	case Adaptive:
+		return "adaptive"
+	case AdaptiveAging:
+		return "adaptive+aging"
+	case AdaptiveGreedy:
+		return "adaptive-greedy"
+	}
+	return fmt.Sprintf("policy(%d)", int(k))
+}
+
+// AdaptiveParams are the runtime parameters of the Adaptive variants'
+// top-level processor allocator — the knobs the paper sweeps per
+// benchmark ("the data points are drawn from the runtime parameter
+// configuration with the best latency").
+type AdaptiveParams struct {
+	// Quantum is the reallocation period.
+	Quantum time.Duration
+	// Delta is the utilization threshold above which a level's desire
+	// grows.
+	Delta float64
+	// Rho is the multiplicative growth/shrink factor for desire.
+	Rho float64
+}
+
+// DefaultAdaptiveParams returns a middle-of-the-road parameter set.
+func DefaultAdaptiveParams() AdaptiveParams {
+	return AdaptiveParams{Quantum: 2 * time.Millisecond, Delta: 0.75, Rho: 2.0}
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Workers is the number of scheduler workers (the paper's "worker
+	// threads"). Default 4.
+	Workers int
+	// Levels is the number of priority levels in use (level 0 is the
+	// highest). Must be in [1, 64]. Default 2.
+	Levels int
+	// Policy selects the scheduler. Default Prompt.
+	Policy PolicyKind
+	// Adaptive parameterizes the Adaptive variants; ignored by Prompt.
+	Adaptive AdaptiveParams
+	// DisableMuggingQueue is an ablation knob for Prompt: abandoned
+	// deques go to the tail of the regular queue ("de-aging" them)
+	// instead of the dedicated mugging queue.
+	DisableMuggingQueue bool
+	// StealTries is how many failed probes an Adaptive worker makes
+	// before napping. Default 4.
+	StealTries int
+	// TraceCapacity, if positive, enables the scheduler event trace
+	// with a ring of that many events.
+	TraceCapacity int
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Levels == 0 {
+		c.Levels = 2
+	}
+	if c.Levels < 1 || c.Levels > prio.MaxLevels {
+		return fmt.Errorf("sched: Levels must be in [1, %d], got %d", prio.MaxLevels, c.Levels)
+	}
+	if c.Adaptive.Quantum <= 0 {
+		c.Adaptive = DefaultAdaptiveParams()
+	}
+	if c.Adaptive.Rho <= 1 {
+		c.Adaptive.Rho = 2.0
+	}
+	if c.Adaptive.Delta <= 0 || c.Adaptive.Delta > 1 {
+		c.Adaptive.Delta = 0.75
+	}
+	if c.StealTries <= 0 {
+		c.StealTries = 4
+	}
+	return nil
+}
+
+// Runtime is a running scheduler instance.
+type Runtime struct {
+	cfg  Config
+	pol  policy
+	bits *prio.Bitfield
+	col  *epoch.Collector
+
+	workers []*worker
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+
+	// nonEmpty[l] counts deques at level l that currently hold work
+	// (frames or a resumable bottom) — the quantity of Figure 2.
+	nonEmpty []atomic.Int64
+	// levelWork[l] accumulates nanoseconds of execution at level l in
+	// the current allocator quantum (Adaptive utilization input).
+	levelWork []atomic.Int64
+
+	// parts recycles epoch participants for non-worker goroutines
+	// (I/O threads, external submitters).
+	parts sync.Pool
+
+	// inflight counts submitted-but-unfinished root futures, letting
+	// harnesses drain before Close.
+	inflight atomic.Int64
+
+	// inv tracks dynamically detected priority inversions.
+	inv inversionState
+
+	// trace is the optional event log (nil when disabled; the nil
+	// receiver is a no-op).
+	trace *trace.Log
+}
+
+// New creates and starts a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		bits:      prio.New(),
+		col:       epoch.NewCollector(),
+		nonEmpty:  make([]atomic.Int64, cfg.Levels),
+		levelWork: make([]atomic.Int64, cfg.Levels),
+	}
+	rt.parts.New = func() any { return rt.col.Register() }
+	if cfg.TraceCapacity > 0 {
+		rt.trace = trace.New(cfg.TraceCapacity)
+	}
+
+	switch cfg.Policy {
+	case Prompt:
+		rt.pol = newPromptPolicy(rt)
+	case Adaptive, AdaptiveAging:
+		rt.pol = newAdaptivePolicy(rt, cfg.Policy == AdaptiveAging)
+	case AdaptiveGreedy:
+		rt.pol = newGreedyPolicy(rt)
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %v", cfg.Policy)
+	}
+
+	rt.workers = make([]*worker, cfg.Workers)
+	baseRNG := xrand.New(0x1c11c)
+	for i := range rt.workers {
+		w := &worker{
+			id:    i,
+			rt:    rt,
+			yield: make(chan yieldMsg),
+			part:  rt.col.Register(),
+			rng:   baseRNG.Split(),
+		}
+		w.assigned.Store(-1)
+		rt.workers[i] = w
+	}
+	rt.pol.start()
+	for _, w := range rt.workers {
+		rt.wg.Add(1)
+		go w.run()
+	}
+	return rt, nil
+}
+
+// Config returns the (defaulted) configuration in effect.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Levels returns the configured number of priority levels.
+func (rt *Runtime) Levels() int { return rt.cfg.Levels }
+
+// Workers returns the configured number of workers.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// NonEmptyDeques returns the instantaneous count of deques holding
+// work at the given level (Figure 2's quantity).
+func (rt *Runtime) NonEmptyDeques(level int) int64 {
+	return rt.nonEmpty[level].Load()
+}
+
+// Inflight returns the number of submitted root futures not yet
+// completed.
+func (rt *Runtime) Inflight() int64 { return rt.inflight.Load() }
+
+// WasteReport aggregates every worker's clock (Figure 6 quantities).
+func (rt *Runtime) WasteReport() stats.WasteReport {
+	var agg stats.WasteReport
+	for _, w := range rt.workers {
+		r := w.clock.Snapshot()
+		agg.Work += r.Work
+		agg.Overhead += r.Overhead
+		agg.Waste += r.Waste
+		agg.Steals += r.Steals
+		agg.Muggings += r.Muggings
+		agg.FailedSteals += r.FailedSteals
+		agg.Sleeps += r.Sleeps
+		agg.Abandons += r.Abandons
+	}
+	return agg
+}
+
+// ResetWaste zeroes all worker clocks (harnesses call this after
+// warmup).
+func (rt *Runtime) ResetWaste() {
+	for _, w := range rt.workers {
+		w.clock.Reset()
+	}
+}
+
+// Trace returns the scheduler event log (nil unless TraceCapacity was
+// set).
+func (rt *Runtime) Trace() *trace.Log { return rt.trace }
+
+// Close stops the runtime. It does not wait for outstanding tasks:
+// callers should drain (Inflight()==0) first; parked tasks of an
+// undraned runtime keep their goroutines until process exit.
+func (rt *Runtime) Close() {
+	if rt.stopped.Swap(true) {
+		return
+	}
+	rt.bits.Stop()
+	rt.pol.stop()
+	rt.wg.Wait()
+}
+
+// handle borrows an epoch participant for a non-worker goroutine.
+func (rt *Runtime) handle() *epoch.Participant {
+	return rt.parts.Get().(*epoch.Participant)
+}
+
+func (rt *Runtime) release(p *epoch.Participant) { rt.parts.Put(p) }
+
+// newDeque creates an Active deque at the given level wired to the
+// runtime's non-empty counters.
+func (rt *Runtime) newDeque(level int) *dq {
+	return deque.New(level, rt.onLive)
+}
+
+func (rt *Runtime) onLive(level, delta int) {
+	rt.nonEmpty[level].Add(int64(delta))
+}
+
+// yield directives posted by tasks to their current worker.
+type yieldKind int
+
+const (
+	ySpawn    yieldKind = iota // run msg.child next; parent frame already pushed
+	yDone                      // task finished; msg.ready optionally carries a sync-released parent
+	ySyncWait                  // task parked at a failed sync; deque is empty
+	yGetWait                   // task parked at a failed get; deque already suspended
+	yAbandon                   // task parked for priority switch; deque already abandoned
+)
+
+type yieldMsg struct {
+	kind  yieldKind
+	child *node // ySpawn
+	ready *node // yDone: parent whose sync this completion released
+	level int   // yAbandon: level to move to
+}
+
+// worker is one scheduler worker.
+type worker struct {
+	id    int
+	rt    *Runtime
+	level int // current priority level
+	// assigned is the Adaptive top-level allocator's target level for
+	// this worker; -1 means parked (no allocation).
+	assigned atomic.Int32
+	active   *dq
+	yield    chan yieldMsg
+	part     *epoch.Participant
+	rng      *xrand.Rand
+	clock    stats.WorkerClock
+}
+
+// run is the worker main loop: find a frame, execute the chain it
+// unfolds into, repeat.
+func (w *worker) run() {
+	defer w.rt.wg.Done()
+	for {
+		if w.rt.stopped.Load() {
+			return
+		}
+		n, d := w.rt.pol.findWork(w)
+		if n == nil {
+			if w.rt.stopped.Load() {
+				return
+			}
+			continue
+		}
+		w.active = d
+		w.level = d.Level()
+		w.execute(n)
+	}
+}
+
+// execute resumes node n and follows the chain of yields until this
+// worker has nothing runnable in hand.
+func (w *worker) execute(n *node) {
+	for n != nil {
+		start := time.Now()
+		n.resume <- w
+		msg := <-w.yield
+		elapsed := time.Since(start)
+		w.clock.AddWork(elapsed)
+		w.rt.levelWork[w.level].Add(int64(elapsed))
+
+		switch msg.kind {
+		case ySpawn:
+			// The task already pushed its continuation frame onto the
+			// active deque (and made the deque discoverable); continue
+			// depth-first with the child.
+			n = msg.child
+
+		case yDone:
+			d := w.active
+			if f, ok := d.PopBottom(); ok {
+				// Resume the parent continuation that spawned (or
+				// fut-created) the finished task.
+				n = f.(*node)
+				continue
+			}
+			// Deque exhausted: it is dead. A stale copy may linger in a
+			// pool queue; lazy removal discards it there.
+			d.MarkDeadIfDone()
+			w.rt.pol.onDequeDead(w, d)
+			w.active = nil
+			if msg.ready != nil {
+				// This completion released the parent's sync; adopt
+				// the parent on a fresh deque (the classic
+				// provably-good resume).
+				nd := w.rt.newDeque(msg.ready.t.level)
+				w.rt.pol.onAdopt(w, nd)
+				w.active = nd
+				w.level = nd.Level()
+				n = msg.ready
+				continue
+			}
+			n = nil
+
+		case ySyncWait:
+			// Work-first invariant: a failed sync implies the deque is
+			// empty (every frame above was stolen).
+			d := w.active
+			if !d.MarkDeadIfDone() {
+				panic("sched: failed sync with non-empty deque")
+			}
+			w.rt.pol.onDequeDead(w, d)
+			w.active = nil
+			n = nil
+
+		case yGetWait:
+			// The task already suspended the deque and registered as a
+			// waiter; the deque (if stealable) remains discoverable.
+			w.active = nil
+			n = nil
+
+		case yAbandon:
+			// The task already marked the deque immediately-resumable
+			// and enqueued it; move to the target level.
+			w.active = nil
+			w.level = msg.level
+			n = nil
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"icilk/internal/trace"
+)
+
+// node is the schedulable unit: a gated goroutine awaiting a worker
+// token. A node is, at any moment, in exactly one of these places:
+// running on a worker (holding the token), parked as a frame in a
+// deque's item stack (a spawn/fut-create continuation), parked as a
+// deque's blocked/ready bottom, parked at a failed sync awaiting its
+// last child, or in flight between a pool pop and its first resume.
+type node struct {
+	// resume carries the worker token. Capacity 1: a resumer may post
+	// the token before the task goroutine has finished parking (the
+	// park protocol is "post yield, then receive resume", and a thief
+	// can legally mug the deque in between).
+	resume chan *worker
+	t      *Task
+}
+
+// Task is the per-task context passed to every task function. All its
+// methods must be called from the task's own goroutine.
+type Task struct {
+	rt     *Runtime
+	w      *worker // current worker; rewritten at every resume
+	n      *node
+	level  int
+	parent *Task
+
+	// mu guards pending/atSync against concurrent child completions.
+	mu      sync.Mutex
+	pending int  // outstanding spawned children
+	atSync  bool // parked at a failed sync
+
+	fut *Future // non-nil if this task computes a future
+}
+
+// newNode creates a gated task goroutine. The goroutine parks
+// immediately, waiting for its first worker token.
+func (rt *Runtime) newNode(level int, parent *Task, fn func(*Task)) *node {
+	n := &node{resume: make(chan *worker, 1)}
+	t := &Task{rt: rt, n: n, level: level, parent: parent}
+	n.t = t
+	go func() {
+		t.w = <-n.resume
+		fn(t)
+		t.finish()
+	}()
+	return n
+}
+
+// Level returns the task's priority level (0 = highest).
+func (t *Task) Level() int { return t.level }
+
+// Runtime returns the owning runtime.
+func (t *Task) Runtime() *Runtime { return t.rt }
+
+// parkAfter posts a yield directive to the current worker and parks
+// until some worker resumes this task.
+func (t *Task) parkAfter(m yieldMsg) {
+	t.w.yield <- m
+	t.w = <-t.n.resume
+}
+
+// finish runs on the task goroutine after the task function returns:
+// complete the future (waking waiter deques), perform join
+// bookkeeping, and hand the worker its next directive.
+func (t *Task) finish() {
+	t.mu.Lock()
+	if t.pending != 0 {
+		t.mu.Unlock()
+		panic("sched: task returned with outstanding spawned children (missing Sync)")
+	}
+	t.mu.Unlock()
+
+	if t.fut != nil {
+		t.fut.complete(t.fut.result)
+	}
+
+	var ready *node
+	if p := t.parent; p != nil {
+		p.mu.Lock()
+		p.pending--
+		if p.pending == 0 && p.atSync {
+			p.atSync = false
+			ready = p.n
+		}
+		p.mu.Unlock()
+	}
+	t.w.yield <- yieldMsg{kind: yDone, ready: ready}
+	// Task goroutine ends here.
+}
+
+// maybeSwitch is the frequent priority check performed at every
+// spawn, sync, fut-create, and get (Section 4: "an active worker
+// checks this bitfield at every spawn, sync, fut-create, and get. If a
+// worker realizes that it is working at a lower priority level than
+// the highest level with available work, it abandons its active deque
+// ... and moves itself to the higher level"). For the Adaptive
+// variants the trigger is instead a changed quantum-boundary
+// assignment.
+func (t *Task) maybeSwitch() {
+	target, ok := t.rt.pol.checkSwitch(t.w, t.level)
+	if !ok {
+		return
+	}
+	d := t.w.active
+	needsEnqueue := d.Abandon(t.n, !t.rt.cfg.DisableMuggingQueue)
+	t.w.clock.CountAbandon()
+	t.rt.trace.Add(trace.Abandon, t.w.id, t.level)
+	t.rt.pol.onAbandon(t.w, d, needsEnqueue)
+	t.parkAfter(yieldMsg{kind: yAbandon, level: target})
+	// Resumed by a mugger; t.w now points at the new worker, which
+	// adopted this deque at t.level.
+}
+
+// Spawn forks fn to potentially run in parallel with the caller's
+// continuation, at the caller's priority level. Semantics follow the
+// paper: the parent's continuation frame is pushed on the bottom of
+// the active deque (becoming stealable) and the worker proceeds with
+// the child.
+func (t *Task) Spawn(fn func(*Task)) {
+	t.maybeSwitch()
+	child := t.rt.newNode(t.level, t, fn)
+	t.mu.Lock()
+	t.pending++
+	t.mu.Unlock()
+	d := t.w.active
+	needsEnqueue := d.PushBottom(t.n)
+	t.rt.pol.onOwnerPush(t.w, d, needsEnqueue)
+	t.parkAfter(yieldMsg{kind: ySpawn, child: child})
+}
+
+// Sync blocks until all children spawned by this task have returned.
+// Futures created with FutCreate are not joined by Sync; use Get.
+func (t *Task) Sync() {
+	t.maybeSwitch()
+	t.mu.Lock()
+	if t.pending == 0 {
+		t.mu.Unlock()
+		return
+	}
+	t.atSync = true
+	t.mu.Unlock()
+	t.parkAfter(yieldMsg{kind: ySyncWait})
+}
+
+// FutCreate creates a future computing fn at the given priority level
+// and returns its handle. At the caller's own level it behaves like
+// spawn (continuation pushed, future routine runs next); at a
+// different level a fresh deque holding the future routine is tossed
+// to that level's pool (footnote 3 of the paper) and the caller
+// continues immediately.
+func (t *Task) FutCreate(level int, fn func(*Task) any) *Future {
+	t.maybeSwitch()
+	if level < 0 || level >= t.rt.cfg.Levels {
+		panic(fmt.Sprintf("sched: FutCreate level %d out of range [0,%d)", level, t.rt.cfg.Levels))
+	}
+	f := newFuture(t.rt)
+	f.ownerLevel = level
+	child := t.rt.newNode(level, nil, func(ct *Task) {
+		ct.fut = f
+		f.result = fn(ct)
+	})
+	if level == t.level {
+		d := t.w.active
+		needsEnqueue := d.PushBottom(t.n)
+		t.rt.pol.onOwnerPush(t.w, d, needsEnqueue)
+		t.parkAfter(yieldMsg{kind: ySpawn, child: child})
+	} else {
+		t.rt.submitNode(child, level)
+	}
+	return f
+}
+
+// Yield is a cooperative scheduling point: it runs the frequent
+// priority check and lets other goroutines run. Long CPU-bound loops
+// inside a task should call it periodically, mirroring how compiled
+// Cilk code reaches scheduling points at every spawn. (The Gosched
+// matters on hosts with fewer CPUs than workers: without it a
+// CPU-bound task can monopolize the processor between Go's async
+// preemption ticks, starving completion observers.)
+func (t *Task) Yield() {
+	t.maybeSwitch()
+	runtime.Gosched()
+}

@@ -1,0 +1,268 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMutexMutualExclusion(t *testing.T) {
+	for _, pk := range allPolicies {
+		pk := pk
+		t.Run(pk.String(), func(t *testing.T) {
+			rt := newTestRuntime(t, Config{Workers: 4, Levels: 1, Policy: pk})
+			m := rt.NewMutex()
+			var counter int // protected by m
+			var inside atomic.Int32
+			const tasks = 8
+			const iters = 50
+			futs := make([]*Future, tasks)
+			for i := range futs {
+				futs[i] = rt.SubmitFuture(0, func(task *Task) any {
+					for j := 0; j < iters; j++ {
+						m.Lock(task)
+						if inside.Add(1) != 1 {
+							t.Error("two tasks inside the critical section")
+						}
+						counter++
+						inside.Add(-1)
+						m.Unlock()
+					}
+					return nil
+				})
+			}
+			for _, f := range futs {
+				f.Wait()
+			}
+			if counter != tasks*iters {
+				t.Fatalf("counter = %d, want %d", counter, tasks*iters)
+			}
+			if m.Locked() {
+				t.Fatal("mutex left locked")
+			}
+		})
+	}
+}
+
+func TestMutexDoesNotBlockWorker(t *testing.T) {
+	// One worker: while task A holds the lock and sleeps, task B's
+	// Lock must suspend B (not the worker) so task C can run.
+	rt := newTestRuntime(t, Config{Workers: 1, Levels: 1, Policy: Prompt})
+	m := rt.NewMutex()
+	release := rt.NewIOFuture()
+	var cRan atomic.Bool
+
+	a := rt.SubmitFuture(0, func(task *Task) any {
+		m.Lock(task)
+		release.Get(task) // hold the lock across a suspension
+		m.Unlock()
+		return nil
+	})
+	time.Sleep(2 * time.Millisecond)
+	b := rt.SubmitFuture(0, func(task *Task) any {
+		m.Lock(task)
+		defer m.Unlock()
+		return cRan.Load()
+	})
+	time.Sleep(2 * time.Millisecond)
+	c := rt.SubmitFuture(0, func(*Task) any { cRan.Store(true); return nil })
+	c.Wait()
+	release.Complete(nil)
+	a.Wait()
+	if !b.Wait().(bool) {
+		t.Fatal("task C did not run while B waited for the lock")
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	rt := newTestRuntime(t, Config{Workers: 1, Levels: 1, Policy: Prompt})
+	m := rt.NewMutex()
+	hold := rt.NewIOFuture()
+	started := make(chan int, 8)
+	var order []int
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+
+	holder := rt.SubmitFuture(0, func(task *Task) any {
+		m.Lock(task)
+		hold.Get(task)
+		m.Unlock()
+		return nil
+	})
+	time.Sleep(time.Millisecond)
+	futs := make([]*Future, 4)
+	for i := range futs {
+		i := i
+		futs[i] = rt.SubmitFuture(0, func(task *Task) any {
+			started <- i
+			m.Lock(task)
+			<-mu
+			order = append(order, i)
+			mu <- struct{}{}
+			m.Unlock()
+			return nil
+		})
+		// Serialize arrival order at the lock.
+		<-started
+		time.Sleep(time.Millisecond)
+	}
+	hold.Complete(nil)
+	holder.Wait()
+	for _, f := range futs {
+		f.Wait()
+	}
+	<-mu
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("handoff order %v not FIFO", order)
+		}
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	rt := newTestRuntime(t, Config{Workers: 2, Levels: 1, Policy: Prompt})
+	m := rt.NewMutex()
+	rt.Run(func(task *Task) any {
+		if !m.TryLock(task) {
+			t.Error("TryLock of free mutex failed")
+		}
+		if m.TryLock(task) {
+			t.Error("TryLock of held mutex succeeded")
+		}
+		m.Unlock()
+		if !m.TryLock(task) {
+			t.Error("TryLock after Unlock failed")
+		}
+		m.Unlock()
+		return nil
+	})
+}
+
+func TestUnlockUnlockedPanics(t *testing.T) {
+	rt := newTestRuntime(t, Config{Workers: 1, Levels: 1, Policy: Prompt})
+	m := rt.NewMutex()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Unlock()
+}
+
+func TestCondSignalAndBroadcast(t *testing.T) {
+	rt := newTestRuntime(t, Config{Workers: 2, Levels: 1, Policy: Prompt})
+	m := rt.NewMutex()
+	c := rt.NewCond(m)
+	ready := 0
+	const waiters = 4
+
+	futs := make([]*Future, waiters)
+	for i := range futs {
+		futs[i] = rt.SubmitFuture(0, func(task *Task) any {
+			m.Lock(task)
+			for ready == 0 {
+				c.Wait(task)
+			}
+			ready--
+			m.Unlock()
+			return nil
+		})
+	}
+	// Let everyone park.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.WaiterCount() != waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters parked", c.WaiterCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Signal one.
+	one := rt.SubmitFuture(0, func(task *Task) any {
+		m.Lock(task)
+		ready = 1
+		m.Unlock()
+		c.Signal()
+		return nil
+	})
+	one.Wait()
+	// Exactly one waiter should finish; then broadcast the rest.
+	done := 0
+	for _, f := range futs {
+		select {
+		case <-f.WaitChan():
+			done++
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if done != 1 {
+		t.Fatalf("%d waiters finished after Signal, want 1", done)
+	}
+	rel := rt.SubmitFuture(0, func(task *Task) any {
+		m.Lock(task)
+		ready = waiters - 1
+		m.Unlock()
+		c.Broadcast()
+		return nil
+	})
+	rel.Wait()
+	for _, f := range futs {
+		f.Wait()
+	}
+}
+
+func TestInversionDetectionOnGet(t *testing.T) {
+	rt := newTestRuntime(t, Config{Workers: 2, Levels: 3, Policy: Prompt})
+	var events atomic.Int64
+	rt.OnInversion(func() { events.Add(1) })
+
+	// Well-formed: high waits on high, low waits on high. No events.
+	rt.SubmitFuture(2, func(task *Task) any {
+		f := task.FutCreate(0, func(*Task) any { return 1 })
+		return f.Get(task)
+	}).Wait()
+	if rt.Inversions() != 0 {
+		t.Fatalf("false positive: %d inversions", rt.Inversions())
+	}
+
+	// Inverted: a level-0 task gets a level-2 future.
+	rt.SubmitFuture(0, func(task *Task) any {
+		f := task.FutCreate(2, func(*Task) any { return 1 })
+		return f.Get(task)
+	}).Wait()
+	if rt.Inversions() != 1 || events.Load() != 1 {
+		t.Fatalf("inversions = %d (events %d), want 1", rt.Inversions(), events.Load())
+	}
+
+	// I/O futures never invert.
+	iof := rt.NewIOFuture()
+	go func() { time.Sleep(time.Millisecond); iof.Complete(nil) }()
+	rt.SubmitFuture(0, func(task *Task) any { return iof.Get(task) }).Wait()
+	if rt.Inversions() != 1 {
+		t.Fatalf("I/O get counted as inversion")
+	}
+}
+
+func TestInversionDetectionOnMutex(t *testing.T) {
+	rt := newTestRuntime(t, Config{Workers: 2, Levels: 2, Policy: Prompt})
+	m := rt.NewMutex()
+	hold := rt.NewIOFuture()
+	low := rt.SubmitFuture(1, func(task *Task) any {
+		m.Lock(task)
+		hold.Get(task)
+		m.Unlock()
+		return nil
+	})
+	time.Sleep(2 * time.Millisecond)
+	hi := rt.SubmitFuture(0, func(task *Task) any {
+		m.Lock(task) // blocks on a lower-priority holder: inversion
+		m.Unlock()
+		return nil
+	})
+	time.Sleep(2 * time.Millisecond)
+	hold.Complete(nil)
+	low.Wait()
+	hi.Wait()
+	if rt.Inversions() == 0 {
+		t.Fatal("lock-based priority inversion not detected")
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"icilk/internal/trace"
+)
+
+// TestTraceCapturesSchedulerEvents runs a workload that must produce
+// each event kind under Prompt and checks the trace saw them.
+func TestTraceCapturesSchedulerEvents(t *testing.T) {
+	rt := newTestRuntime(t, Config{Workers: 2, Levels: 2, Policy: Prompt, TraceCapacity: 8192})
+	tr := rt.Trace()
+	if tr == nil {
+		t.Fatal("trace not enabled")
+	}
+
+	// Suspend + Resume: a blocked I/O get.
+	iof := rt.NewIOFuture()
+	f := rt.SubmitFuture(1, func(task *Task) any { return iof.Get(task) })
+	time.Sleep(2 * time.Millisecond)
+	iof.Complete(nil)
+	f.Wait()
+
+	// Abandon: low-priority spinner + high-priority arrival.
+	stop := make(chan struct{})
+	spinners := make([]*Future, 2)
+	for i := range spinners {
+		spinners[i] = rt.SubmitFuture(1, func(task *Task) any {
+			for {
+				select {
+				case <-stop:
+					return nil
+				default:
+					task.Yield()
+				}
+			}
+		})
+	}
+	time.Sleep(2 * time.Millisecond)
+	rt.SubmitFuture(0, func(*Task) any { return nil }).Wait()
+	close(stop)
+	for _, f := range spinners {
+		f.Wait()
+	}
+
+	for _, k := range []trace.Kind{trace.Enqueue, trace.Mug, trace.Suspend, trace.Resume, trace.Sleep, trace.Wake} {
+		if tr.Count(k) == 0 {
+			t.Errorf("no %v events recorded", k)
+		}
+	}
+	if tr.Count(trace.Abandon) == 0 {
+		t.Error("no abandon events despite priority preemption")
+	}
+	if tr.Total() == 0 || len(tr.Snapshot()) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestTraceDisabledByDefault: zero capacity leaves the trace nil and
+// the hot paths inert.
+func TestTraceDisabledByDefault(t *testing.T) {
+	rt := newTestRuntime(t, Config{Workers: 1, Levels: 1, Policy: Prompt})
+	if rt.Trace() != nil {
+		t.Fatal("trace enabled without capacity")
+	}
+	rt.Run(func(task *Task) any {
+		task.Spawn(func(*Task) {})
+		task.Sync()
+		return nil
+	})
+}

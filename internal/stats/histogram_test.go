@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"icilk/internal/xrand"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Percentile(99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+}
+
+func TestHistogramBoundedRelativeError(t *testing.T) {
+	// Compare histogram percentiles against the exact recorder on a
+	// heavy-tailed sample set; the histogram's answer must be an
+	// overestimate within the growth factor (7%) plus one bucket.
+	h := NewHistogram()
+	r := NewRecorder(0)
+	rng := xrand.New(123)
+	for i := 0; i < 50000; i++ {
+		// Log-uniform latencies from ~1µs to ~100ms.
+		d := time.Duration(1000 * exp10(rng.Float64()*5))
+		h.Record(d)
+		r.Record(d)
+	}
+	for _, p := range []float64{50, 90, 95, 99, 99.9} {
+		exact := r.Percentile(p)
+		approx := h.Percentile(p)
+		if approx < exact {
+			// Allowed: the exact answer may sit above a bucket upper
+			// bound only if it's the max-tightened last bucket.
+			if float64(approx) < float64(exact)*0.93 {
+				t.Fatalf("p%v: approx %v underestimates exact %v", p, approx, exact)
+			}
+		}
+		if float64(approx) > float64(exact)*1.15 {
+			t.Fatalf("p%v: approx %v overshoots exact %v by >15%%", p, approx, exact)
+		}
+	}
+}
+
+func exp10(x float64) float64 {
+	v := 1.0
+	for x >= 1 {
+		v *= 10
+		x--
+	}
+	// Linear blend for the fractional digit (adequate for test data).
+	return v * (1 + 9*x/10*1.0)
+}
+
+func TestHistogramMeanMaxExact(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 3 * time.Millisecond, 8 * time.Millisecond} {
+		h.Record(d)
+	}
+	if h.Mean() != 4*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 8*time.Millisecond || h.Min() != time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Record(time.Duration(v%10_000_000) + 1)
+		}
+		last := time.Duration(0)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			cur := h.Percentile(p)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return h.Percentile(100) <= h.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogramGeometry(8, time.Microsecond, 2)
+	h.Record(time.Nanosecond) // below min: bucket 0
+	h.Record(time.Hour)       // beyond top: last bucket, max tightens
+	if h.Count() != 2 {
+		t.Fatal("count wrong")
+	}
+	if h.Percentile(100) != time.Hour {
+		t.Fatalf("p100 = %v, want max-tightened 1h", h.Percentile(100))
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Record(time.Duration(i+1) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramGeometryValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewHistogramGeometry(1, time.Microsecond, 2) },
+		func() { NewHistogramGeometry(8, 0, 2) },
+		func() { NewHistogramGeometry(8, time.Microsecond, 1.0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad geometry accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// Sampler periodically samples a scalar quantity (e.g. the number of
+// non-empty deques at a priority level) and retains the time series.
+// The paper's Figure 2 reports the average number of non-empty deques
+// across scheduling quanta; a Sampler with the quantum as its period
+// reproduces exactly that measurement.
+type Sampler struct {
+	mu      sync.Mutex
+	values  []float64
+	period  time.Duration
+	probe   func() float64
+	stopped chan struct{}
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewSampler creates a sampler that calls probe every period once
+// started. The probe must be safe to call from the sampler goroutine.
+func NewSampler(period time.Duration, probe func() float64) *Sampler {
+	return &Sampler{
+		period:  period,
+		probe:   probe,
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine.
+func (s *Sampler) Start() {
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.period)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopped:
+				return
+			case <-t.C:
+				v := s.probe()
+				s.mu.Lock()
+				s.values = append(s.values, v)
+				s.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Stop terminates sampling and waits for the goroutine to exit.
+func (s *Sampler) Stop() {
+	s.once.Do(func() { close(s.stopped) })
+	<-s.done
+}
+
+// Mean returns the average of all samples taken so far (0 if none).
+func (s *Sampler) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Max returns the largest sample (0 if none).
+func (s *Sampler) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max float64
+	for _, v := range s.values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Count returns the number of samples taken.
+func (s *Sampler) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.values)
+}
+
+// Values returns a copy of the sample series.
+func (s *Sampler) Values() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}

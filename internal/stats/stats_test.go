@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i))
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50}, {95, 95}, {99, 99}, {100, 100}, {1, 1}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder(0)
+	if r.Percentile(99) != 0 || r.Mean() != 0 || r.Max() != 0 || r.Min() != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+	s := r.Summarize()
+	if s.Count != 0 {
+		t.Fatal("count should be 0")
+	}
+}
+
+func TestMeanMedianMax(t *testing.T) {
+	r := NewRecorder(4)
+	for _, v := range []time.Duration{10, 20, 30, 40} {
+		r.Record(v)
+	}
+	if r.Mean() != 25 {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if r.Median() != 20 { // nearest-rank p50 of 4 samples = 2nd
+		t.Fatalf("median = %v", r.Median())
+	}
+	if r.Max() != 40 || r.Min() != 10 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 8000 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if r.Percentile(100) != 999 {
+		t.Fatalf("max = %v", r.Percentile(100))
+	}
+}
+
+// TestQuickPercentileMatchesSort: percentile always equals the
+// nearest-rank element of the sorted sample set.
+func TestQuickPercentileMatchesSort(t *testing.T) {
+	prop := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pRaw%100) + 1
+		r := NewRecorder(len(raw))
+		vals := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			vals[i] = time.Duration(v)
+			r.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		rank := int(math.Ceil(p / 100 * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(vals) {
+			rank = len(vals)
+		}
+		return r.Percentile(p) == vals[rank-1]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiRecorder(t *testing.T) {
+	m := NewMultiRecorder()
+	m.Record("get", 5)
+	m.Record("set", 7)
+	m.Record("get", 9)
+	if got := m.Classes(); len(got) != 2 || got[0] != "get" || got[1] != "set" {
+		t.Fatalf("classes = %v", got)
+	}
+	if m.Class("get").Count() != 2 {
+		t.Fatal("get count wrong")
+	}
+	if m.Class("new").Count() != 0 {
+		t.Fatal("new class not empty")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	var v float64 = 10
+	var mu sync.Mutex
+	s := NewSampler(time.Millisecond, func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return v
+	})
+	s.Start()
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	v = 30
+	mu.Unlock()
+	time.Sleep(10 * time.Millisecond)
+	s.Stop()
+	if s.Count() < 5 {
+		t.Fatalf("only %d samples", s.Count())
+	}
+	mean := s.Mean()
+	if mean < 10 || mean > 30 {
+		t.Fatalf("mean = %v outside [10,30]", mean)
+	}
+	if s.Max() != 30 {
+		t.Fatalf("max = %v", s.Max())
+	}
+}
+
+func TestSamplerStopIdempotentViaValues(t *testing.T) {
+	s := NewSampler(time.Millisecond, func() float64 { return 1 })
+	s.Start()
+	time.Sleep(3 * time.Millisecond)
+	s.Stop()
+	n := s.Count()
+	time.Sleep(3 * time.Millisecond)
+	if s.Count() != n {
+		t.Fatal("sampler kept sampling after Stop")
+	}
+	vals := s.Values()
+	if len(vals) != n {
+		t.Fatalf("Values len %d != Count %d", len(vals), n)
+	}
+}
+
+func TestWorkerClock(t *testing.T) {
+	var c WorkerClock
+	c.AddWork(100 * time.Millisecond)
+	c.AddOverhead(10 * time.Millisecond)
+	c.AddWaste(5 * time.Millisecond)
+	c.CountSteal()
+	c.CountSteal()
+	c.CountMug()
+	c.CountFailedSteal()
+	c.CountSleep()
+	c.CountAbandon()
+	r := c.Snapshot()
+	if r.Work != 100*time.Millisecond || r.Overhead != 10*time.Millisecond || r.Waste != 5*time.Millisecond {
+		t.Fatalf("times wrong: %+v", r)
+	}
+	if r.Running() != 110*time.Millisecond {
+		t.Fatalf("running = %v", r.Running())
+	}
+	if r.Steals != 2 || r.Muggings != 1 || r.FailedSteals != 1 || r.Sleeps != 1 || r.Abandons != 1 {
+		t.Fatalf("counts wrong: %+v", r)
+	}
+	c.Reset()
+	if r := c.Snapshot(); r.Work != 0 || r.Steals != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

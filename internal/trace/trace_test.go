@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndCounts(t *testing.T) {
+	l := New(8)
+	l.Add(Steal, 1, 0)
+	l.Add(Steal, 2, 1)
+	l.Add(Mug, 0, 3)
+	if l.Count(Steal) != 2 || l.Count(Mug) != 1 || l.Count(Abandon) != 0 {
+		t.Fatalf("counts: steal=%d mug=%d", l.Count(Steal), l.Count(Mug))
+	}
+	if l.Total() != 3 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestSnapshotOrderAndWrap(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Add(Enqueue, i, i%3)
+	}
+	ev := l.Snapshot()
+	if len(ev) != 4 {
+		t.Fatalf("snapshot len = %d, want ring capacity 4", len(ev))
+	}
+	// Oldest retained is event #6 (workers 6..9).
+	for i, e := range ev {
+		if int(e.Worker) != 6+i {
+			t.Fatalf("snapshot[%d].Worker = %d, want %d", i, e.Worker, 6+i)
+		}
+	}
+	// Timestamps non-decreasing.
+	for i := 1; i < len(ev); i++ {
+		if ev[i].TS < ev[i-1].TS {
+			t.Fatal("timestamps regress")
+		}
+	}
+}
+
+func TestNilLogIsNoop(t *testing.T) {
+	var l *Log
+	l.Add(Steal, 0, 0) // must not panic
+	if l.Count(Steal) != 0 || l.Total() != 0 || l.Snapshot() != nil {
+		t.Fatal("nil log not inert")
+	}
+	if l.String() != "trace(disabled)" {
+		t.Fatalf("String = %q", l.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	l := New(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				l.Add(Kind(i%int(numKinds)), g, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Total() != 20000 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	var sum int64
+	for k := Kind(0); k < numKinds; k++ {
+		sum += l.Count(k)
+	}
+	if sum != 20000 {
+		t.Fatalf("count sum = %d", sum)
+	}
+	if !strings.Contains(l.String(), "total:20000") {
+		t.Fatalf("String = %q", l.String())
+	}
+}

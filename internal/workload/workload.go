@@ -1,0 +1,165 @@
+// Package workload drives the email and job servers with open-loop
+// request streams and implements the QoS binary search used for
+// Memcached. The paper modified the benchmark clients "to ensure that
+// the amount of the work done in each run is the same"; the drivers
+// here are deterministic given a seed, so runs across schedulers see
+// identical request sequences and timings.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"icilk"
+	"icilk/internal/stats"
+	"icilk/internal/xrand"
+)
+
+// OpenLoopConfig describes a request stream over operation classes.
+type OpenLoopConfig struct {
+	// RPS is the aggregate arrival rate.
+	RPS float64
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Mix gives the relative weight of each operation class; its
+	// length defines the class count.
+	Mix []float64
+	// ClassNames labels classes in results (optional).
+	ClassNames []string
+	// Seed makes arrivals and class choices reproducible.
+	Seed uint64
+	// Warmup discards latency samples for requests scheduled within
+	// this span after start (load still applied).
+	Warmup time.Duration
+	// Spread, if positive, selects a user/shard id in [0, Spread) per
+	// request, passed to Submit.
+	Spread int
+}
+
+// Result collects per-class latencies for one run.
+type Result struct {
+	PerClass *stats.MultiRecorder
+	All      *stats.Recorder
+	Sent     int64
+	Elapsed  time.Duration
+}
+
+// ClassSummary returns the latency digest of one class.
+func (r *Result) ClassSummary(name string) stats.Summary {
+	return r.PerClass.Class(name).Summarize()
+}
+
+// SubmitFunc injects one request of the given class and returns its
+// future. user is in [0, Spread) (0 if Spread unset); seq is the
+// request sequence number.
+type SubmitFunc func(class, user int, seq int64) *icilk.Future
+
+// RunOpenLoop generates Poisson arrivals at the configured rate,
+// dispatching classes by the mix weights, and records each request's
+// latency from its scheduled arrival time to future completion.
+func RunOpenLoop(cfg OpenLoopConfig, submit SubmitFunc) *Result {
+	if len(cfg.Mix) == 0 {
+		panic("workload: empty mix")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xfeed
+	}
+	names := cfg.ClassNames
+	if names == nil {
+		names = make([]string, len(cfg.Mix))
+		for i := range names {
+			names[i] = fmt.Sprintf("class%d", i)
+		}
+	}
+	var totalW float64
+	for _, w := range cfg.Mix {
+		totalW += w
+	}
+
+	res := &Result{PerClass: stats.NewMultiRecorder(), All: stats.NewRecorder(4096)}
+	rng := xrand.New(cfg.Seed)
+	meanGap := time.Duration(float64(time.Second) / cfg.RPS)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	deadline := start.Add(cfg.Duration)
+	next := start
+	var seq int64
+	for {
+		gap := time.Duration(rng.Exp(float64(meanGap)))
+		next = next.Add(gap)
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		// Pick the class by weight.
+		x := rng.Float64() * totalW
+		class := 0
+		for i, w := range cfg.Mix {
+			if x < w {
+				class = i
+				break
+			}
+			x -= w
+		}
+		user := 0
+		if cfg.Spread > 0 {
+			user = rng.Intn(cfg.Spread)
+		}
+		seq++
+		scheduled := next
+		f := submit(class, user, seq)
+		res.Sent++
+		name := names[class]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Wait()
+			if !scheduled.After(measureFrom) {
+				return
+			}
+			lat := time.Since(scheduled)
+			res.PerClass.Record(name, lat)
+			res.All.Record(lat)
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// QoS is a predicate over a latency recorder (e.g. "95% of requests
+// under 10ms").
+type QoS func(*stats.Recorder) bool
+
+// PercentileUnder returns the QoS "p-th percentile below limit" — the
+// paper uses 95% under 10ms for Memcached.
+func PercentileUnder(p float64, limit time.Duration) QoS {
+	return func(r *stats.Recorder) bool {
+		return r.Count() > 0 && r.Percentile(p) <= limit
+	}
+}
+
+// FindMaxRPS binary-searches the largest request rate in [lo, hi]
+// that still meets the QoS, mirroring the paper's methodology ("we
+// find the maximum RPS that meets the QoS using a binary search on
+// the RPS with a fixed client count"). run executes one load at the
+// given RPS and returns its latency recorder.
+func FindMaxRPS(lo, hi float64, iters int, qos QoS, run func(rps float64) *stats.Recorder) float64 {
+	if !qos(run(lo)) {
+		return 0 // even the floor fails
+	}
+	for i := 0; i < iters && hi-lo > 1; i++ {
+		mid := (lo + hi) / 2
+		if qos(run(mid)) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

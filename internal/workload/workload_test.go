@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icilk"
+	"icilk/internal/stats"
+)
+
+func TestRunOpenLoopDispatchesMix(t *testing.T) {
+	rt, err := icilk.New(icilk.Config{Workers: 2, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var counts [2]atomic.Int64
+	res := RunOpenLoop(OpenLoopConfig{
+		RPS:        2000,
+		Duration:   200 * time.Millisecond,
+		Mix:        []float64{3, 1},
+		ClassNames: []string{"hot", "cold"},
+		Seed:       7,
+		Spread:     4,
+	}, func(class, user int, seq int64) *icilk.Future {
+		if user < 0 || user >= 4 {
+			t.Errorf("user %d out of spread", user)
+		}
+		counts[class].Add(1)
+		return rt.Submit(class, func(*icilk.Task) any { return nil })
+	})
+
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	total := counts[0].Load() + counts[1].Load()
+	if total != res.Sent {
+		t.Fatalf("sent %d but dispatched %d", res.Sent, total)
+	}
+	// 3:1 mix within generous tolerance.
+	ratio := float64(counts[0].Load()) / float64(total)
+	if ratio < 0.55 || ratio > 0.9 {
+		t.Fatalf("hot fraction = %.2f, want ~0.75", ratio)
+	}
+	if res.PerClass.Class("hot").Count()+res.PerClass.Class("cold").Count() != int(res.Sent) {
+		t.Fatal("latency records missing")
+	}
+	if res.All.Count() != int(res.Sent) {
+		t.Fatal("aggregate recorder incomplete")
+	}
+}
+
+func TestRunOpenLoopDeterministicSequence(t *testing.T) {
+	rt, err := icilk.New(icilk.Config{Workers: 1, Levels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	collect := func() []int {
+		var classes []int
+		RunOpenLoop(OpenLoopConfig{
+			RPS: 5000, Duration: 50 * time.Millisecond,
+			Mix: []float64{1, 1, 1}, Seed: 42,
+		}, func(class, user int, seq int64) *icilk.Future {
+			classes = append(classes, class)
+			return rt.Submit(0, func(*icilk.Task) any { return nil })
+		})
+		return classes
+	}
+	a, b := collect(), collect()
+	// Same seed: identical class sequence for the common prefix (the
+	// counts can differ by timing, the choices cannot).
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		t.Fatal("no requests generated")
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			t.Fatalf("class sequence diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPercentileUnder(t *testing.T) {
+	r := stats.NewRecorder(8)
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if !PercentileUnder(95, 95*time.Millisecond)(r) {
+		t.Fatal("p95=95ms should meet a 95ms limit")
+	}
+	if PercentileUnder(95, 94*time.Millisecond)(r) {
+		t.Fatal("p95=95ms should fail a 94ms limit")
+	}
+	empty := stats.NewRecorder(0)
+	if PercentileUnder(95, time.Hour)(empty) {
+		t.Fatal("empty recorder should not pass QoS")
+	}
+}
+
+func TestFindMaxRPS(t *testing.T) {
+	// Synthetic server: meets QoS up to 1000 RPS.
+	run := func(rps float64) *stats.Recorder {
+		r := stats.NewRecorder(1)
+		if rps <= 1000 {
+			r.Record(time.Millisecond)
+		} else {
+			r.Record(time.Second)
+		}
+		return r
+	}
+	qos := PercentileUnder(95, 10*time.Millisecond)
+	got := FindMaxRPS(100, 4000, 20, qos, run)
+	if got < 900 || got > 1000 {
+		t.Fatalf("FindMaxRPS = %v, want ~1000", got)
+	}
+	// Floor failure.
+	if got := FindMaxRPS(2000, 4000, 10, qos, run); got != 0 {
+		t.Fatalf("floor-failing search returned %v", got)
+	}
+}

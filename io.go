@@ -1,0 +1,164 @@
+package icilk
+
+import "io"
+
+// Conn is the connection surface the I/O-future layer needs. It is
+// satisfied by *netsim.Endpoint; a real non-blocking socket wrapper
+// could implement it equally well.
+type Conn interface {
+	// TryRead copies available bytes without blocking; n==0 with a
+	// nil error means "would block"; io.EOF means the peer closed.
+	TryRead(p []byte) (n int, err error)
+	// ArmRead registers a one-shot callback fired when the connection
+	// becomes readable (or hits EOF). If readable now, the callback
+	// must run synchronously.
+	ArmRead(fn func())
+	// Write sends bytes to the peer.
+	Write(p []byte) (n int, err error)
+}
+
+// Read reads from c into p with synchronous semantics but
+// asynchronous performance: if no data is available the calling
+// task's deque suspends on an I/O future (freeing the worker) and
+// resumes when the connection becomes readable. This is the paper's
+// I/O-future read — the primitive that let the Memcached port delete
+// its event-loop state machine.
+func (r *Runtime) Read(t *Task, c Conn, p []byte) (int, error) {
+	for {
+		n, err := c.TryRead(p)
+		if n > 0 || err != nil {
+			return n, err
+		}
+		f := r.rt.NewIOFuture()
+		c.ArmRead(func() { r.CompleteIO(f, nil) })
+		f.Get(t)
+	}
+}
+
+// ReadFull reads exactly len(p) bytes (or fails with io.EOF /
+// io.ErrUnexpectedEOF), suspending on I/O futures as needed.
+func (r *Runtime) ReadFull(t *Task, c Conn, p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		n, err := r.Read(t, c, p[total:])
+		total += n
+		if err != nil {
+			if err == io.EOF && total > 0 && total < len(p) {
+				return total, io.ErrUnexpectedEOF
+			}
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// LineReader incrementally parses a byte stream into lines and fixed
+// blocks, suspending the calling task on I/O futures when the stream
+// runs dry. Protocol handlers (the Memcached text protocol) build on
+// it.
+type LineReader struct {
+	r   *Runtime
+	c   Conn
+	buf []byte
+	pos int // consumed prefix of buf
+}
+
+// NewLineReader wraps c.
+func (r *Runtime) NewLineReader(c Conn) *LineReader {
+	return &LineReader{r: r, c: c, buf: make([]byte, 0, 512)}
+}
+
+// fill reads more data, suspending if necessary. Returns an error on
+// EOF.
+func (lr *LineReader) fill(t *Task) error {
+	// Compact consumed prefix.
+	if lr.pos > 0 {
+		rest := copy(lr.buf, lr.buf[lr.pos:])
+		lr.buf = lr.buf[:rest]
+		lr.pos = 0
+	}
+	var chunk [512]byte
+	n, err := lr.r.Read(t, lr.c, chunk[:])
+	if n > 0 {
+		lr.buf = append(lr.buf, chunk[:n]...)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadLine returns the next CRLF- or LF-terminated line (without the
+// terminator), suspending until one is available.
+func (lr *LineReader) ReadLine(t *Task) (string, error) {
+	for {
+		if i := indexByte(lr.buf[lr.pos:], '\n'); i >= 0 {
+			line := lr.buf[lr.pos : lr.pos+i]
+			lr.pos += i + 1
+			// Strip optional CR.
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
+			return string(line), nil
+		}
+		if err := lr.fill(t); err != nil {
+			return "", err
+		}
+	}
+}
+
+// ReadBlock returns the next n bytes followed by CRLF (the Memcached
+// data-block framing), suspending until available.
+func (lr *LineReader) ReadBlock(t *Task, n int) ([]byte, error) {
+	for len(lr.buf)-lr.pos < n+2 {
+		if err := lr.fill(t); err != nil {
+			return nil, err
+		}
+	}
+	block := make([]byte, n)
+	copy(block, lr.buf[lr.pos:lr.pos+n])
+	lr.pos += n + 2 // skip trailing CRLF
+	return block, nil
+}
+
+// PeekByte returns the next byte without consuming it, suspending
+// until one is available. Servers that speak several protocols on one
+// port use it to sniff the framing (memcached's binary protocol is
+// detected by a 0x80 first byte).
+func (lr *LineReader) PeekByte(t *Task) (byte, error) {
+	for lr.pos >= len(lr.buf) {
+		if err := lr.fill(t); err != nil {
+			return 0, err
+		}
+	}
+	return lr.buf[lr.pos], nil
+}
+
+// ReadExact returns the next n bytes with no framing assumptions
+// (binary protocols), suspending until available.
+func (lr *LineReader) ReadExact(t *Task, n int) ([]byte, error) {
+	for len(lr.buf)-lr.pos < n {
+		if err := lr.fill(t); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]byte, n)
+	copy(out, lr.buf[lr.pos:lr.pos+n])
+	lr.pos += n
+	return out, nil
+}
+
+// Buffered reports whether unconsumed bytes are already available
+// (used by servers to batch multiple pipelined requests before
+// yielding, as the pthread Memcached does up to a threshold).
+func (lr *LineReader) Buffered() bool { return lr.pos < len(lr.buf) }
+
+func indexByte(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}

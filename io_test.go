@@ -1,0 +1,171 @@
+package icilk
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"icilk/internal/netreal"
+	"icilk/internal/netsim"
+)
+
+// Compile-time checks: both connection implementations satisfy Conn.
+var (
+	_ Conn = (*netsim.Endpoint)(nil)
+	_ Conn = (*netreal.Conn)(nil)
+)
+
+func TestLineReaderSplitAcrossFills(t *testing.T) {
+	rt := newRT(t, Config{Workers: 1, Levels: 1})
+	cli, srv := netsim.Pipe()
+	go func() {
+		// A line and a block, dribbled byte by byte across the CRLF
+		// boundaries.
+		payload := "set x 0 0 3\r\nabc\r\nnext\r\n"
+		for i := 0; i < len(payload); i++ {
+			cli.WriteString(payload[i : i+1])
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	got := rt.Run(func(task *Task) any {
+		lr := rt.NewLineReader(srv)
+		line, err := lr.ReadLine(task)
+		if err != nil {
+			return err
+		}
+		block, err := lr.ReadBlock(task, 3)
+		if err != nil {
+			return err
+		}
+		line2, err := lr.ReadLine(task)
+		if err != nil {
+			return err
+		}
+		return line + "|" + string(block) + "|" + line2
+	})
+	if got != "set x 0 0 3|abc|next" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLineReaderEOFMidLine(t *testing.T) {
+	rt := newRT(t, Config{Workers: 1, Levels: 1})
+	cli, srv := netsim.Pipe()
+	cli.WriteString("unterminated")
+	cli.Close()
+	got := rt.Run(func(task *Task) any {
+		lr := rt.NewLineReader(srv)
+		_, err := lr.ReadLine(task)
+		return err
+	})
+	if got != io.EOF {
+		t.Fatalf("err = %v, want EOF", got)
+	}
+}
+
+func TestLineReaderEOFMidBlock(t *testing.T) {
+	rt := newRT(t, Config{Workers: 1, Levels: 1})
+	cli, srv := netsim.Pipe()
+	cli.WriteString("ab") // block needs 4+2 bytes
+	cli.Close()
+	got := rt.Run(func(task *Task) any {
+		lr := rt.NewLineReader(srv)
+		_, err := lr.ReadBlock(task, 4)
+		return err
+	})
+	if got != io.EOF {
+		t.Fatalf("err = %v, want EOF", got)
+	}
+}
+
+func TestPeekByteDoesNotConsume(t *testing.T) {
+	rt := newRT(t, Config{Workers: 1, Levels: 1})
+	cli, srv := netsim.Pipe()
+	cli.WriteString("Z-line\r\n")
+	got := rt.Run(func(task *Task) any {
+		lr := rt.NewLineReader(srv)
+		b, err := lr.PeekByte(task)
+		if err != nil || b != 'Z' {
+			t.Errorf("peek = %c, %v", b, err)
+		}
+		// Peek again: same byte.
+		b2, _ := lr.PeekByte(task)
+		if b2 != 'Z' {
+			t.Errorf("second peek = %c", b2)
+		}
+		line, _ := lr.ReadLine(task)
+		return line
+	})
+	if got != "Z-line" {
+		t.Fatalf("line = %v", got)
+	}
+}
+
+func TestReadExactSpansChunks(t *testing.T) {
+	rt := newRT(t, Config{Workers: 1, Levels: 1})
+	cli, srv := netsim.Pipe()
+	go func() {
+		big := make([]byte, 2000)
+		for i := range big {
+			big[i] = byte(i % 251)
+		}
+		// Two writes, splitting the frame.
+		cli.Write(big[:700])
+		time.Sleep(time.Millisecond)
+		cli.Write(big[700:])
+	}()
+	got := rt.Run(func(task *Task) any {
+		lr := rt.NewLineReader(srv)
+		b, err := lr.ReadExact(task, 2000)
+		if err != nil {
+			return err
+		}
+		for i := range b {
+			if b[i] != byte(i%251) {
+				return i
+			}
+		}
+		return "ok"
+	})
+	if got != "ok" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConcurrentConnectionsShareWorker(t *testing.T) {
+	// One worker serving 8 connections: every request must still get
+	// a response (the scheduler time-multiplexes via I/O futures).
+	rt := newRT(t, Config{Workers: 1, Levels: 1})
+	const conns = 8
+	type pair struct{ cli, srv *netsim.Endpoint }
+	ps := make([]pair, conns)
+	for i := range ps {
+		ps[i].cli, ps[i].srv = netsim.Pipe()
+		srv := ps[i].srv
+		rt.Submit(0, func(task *Task) any {
+			lr := rt.NewLineReader(srv)
+			for {
+				line, err := lr.ReadLine(task)
+				if err != nil {
+					return nil
+				}
+				srv.WriteString("echo:" + line + "\n")
+			}
+		})
+	}
+	for round := 0; round < 5; round++ {
+		for i := range ps {
+			ps[i].cli.WriteString("ping\n")
+		}
+		for i := range ps {
+			var buf [32]byte
+			n, err := ps[i].cli.Read(buf[:])
+			if err != nil || string(buf[:n]) != "echo:ping\n" {
+				t.Fatalf("conn %d round %d: %q, %v", i, round, buf[:n], err)
+			}
+		}
+	}
+	for i := range ps {
+		ps[i].cli.Close()
+	}
+}

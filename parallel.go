@@ -1,0 +1,78 @@
+package icilk
+
+// Parallel-loop helpers built on Spawn/Sync — the convenience layer a
+// Cilk programmer gets from cilk_for. Divide-and-conquer splitting
+// (rather than one spawn per iteration) keeps the spawn tree
+// logarithmic, so steal granularity adapts to however many workers
+// show up, and every split point doubles as a promptness check.
+
+// For executes body(i) for every i in [lo, hi) with fork-join
+// parallelism. grain is the largest chunk executed sequentially; 0
+// picks a default of (hi-lo)/(8*workers), at least 1.
+func For(t *Task, lo, hi, grain int, body func(i int)) {
+	if hi <= lo {
+		return
+	}
+	if grain <= 0 {
+		grain = (hi - lo) / (8 * t.Runtime().Workers())
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	forRec(t, lo, hi, grain, body)
+}
+
+func forRec(t *Task, lo, hi, grain int, body func(i int)) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		mid2 := mid // capture
+		hi2 := hi
+		t.Spawn(func(ct *Task) { forRec(ct, mid2, hi2, grain, body) })
+		hi = mid
+	}
+	for i := lo; i < hi; i++ {
+		body(i)
+	}
+	t.Sync()
+}
+
+// Map applies fn to every element of in, in parallel, returning the
+// results in order.
+func Map[In, Out any](t *Task, in []In, grain int, fn func(In) Out) []Out {
+	out := make([]Out, len(in))
+	For(t, 0, len(in), grain, func(i int) {
+		out[i] = fn(in[i])
+	})
+	return out
+}
+
+// Reduce combines fn over [lo, hi) with a parallel tree reduction.
+// combine must be associative; zero is its identity.
+func Reduce[T any](t *Task, lo, hi, grain int, zero T, leaf func(i int) T, combine func(a, b T) T) T {
+	if hi <= lo {
+		return zero
+	}
+	if grain <= 0 {
+		grain = (hi - lo) / (8 * t.Runtime().Workers())
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	return reduceRec(t, lo, hi, grain, zero, leaf, combine)
+}
+
+func reduceRec[T any](t *Task, lo, hi, grain int, zero T, leaf func(i int) T, combine func(a, b T) T) T {
+	if hi-lo <= grain {
+		acc := zero
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, leaf(i))
+		}
+		return acc
+	}
+	mid := lo + (hi-lo)/2
+	var right T
+	t.Spawn(func(ct *Task) { right = reduceRec(ct, mid, hi, grain, zero, leaf, combine) })
+	left := reduceRec(t, lo, mid, grain, zero, leaf, combine)
+	t.Sync()
+	return combine(left, right)
+}

@@ -1,0 +1,120 @@
+package icilk
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1})
+	prop := func(loRaw, spanRaw uint8, grainRaw uint8) bool {
+		lo := int(loRaw % 50)
+		hi := lo + int(spanRaw%200)
+		grain := int(grainRaw % 20) // 0 = default
+		counts := make([]atomic.Int32, 260)
+		rt.Run(func(task *Task) any {
+			For(task, lo, hi, grain, func(i int) { counts[i].Add(1) })
+			return nil
+		})
+		for i := range counts {
+			want := int32(0)
+			if i >= lo && i < hi {
+				want = 1
+			}
+			if counts[i].Load() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEmptyAndReversedRange(t *testing.T) {
+	rt := newRT(t, Config{Workers: 2, Levels: 1})
+	ran := false
+	rt.Run(func(task *Task) any {
+		For(task, 5, 5, 1, func(int) { ran = true })
+		For(task, 9, 3, 1, func(int) { ran = true })
+		return nil
+	})
+	if ran {
+		t.Fatal("body ran for an empty range")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1})
+	in := make([]int, 500)
+	for i := range in {
+		in[i] = i
+	}
+	out := rt.Run(func(task *Task) any {
+		return Map(task, in, 16, func(v int) int { return v * v })
+	}).([]int)
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1})
+	got := rt.Run(func(task *Task) any {
+		return Reduce(task, 1, 1001, 32, 0,
+			func(i int) int { return i },
+			func(a, b int) int { return a + b })
+	}).(int)
+	if got != 500500 {
+		t.Fatalf("sum = %d", got)
+	}
+	// Empty range returns the identity.
+	got = rt.Run(func(task *Task) any {
+		return Reduce(task, 10, 10, 1, -7,
+			func(i int) int { return i },
+			func(a, b int) int { return a + b })
+	}).(int)
+	if got != -7 {
+		t.Fatalf("empty reduce = %d", got)
+	}
+}
+
+func TestReduceMaxWithStrings(t *testing.T) {
+	rt := newRT(t, Config{Workers: 3, Levels: 1})
+	words := []string{"pear", "apple", "zucchini", "fig", "mango"}
+	got := rt.Run(func(task *Task) any {
+		return Reduce(task, 0, len(words), 1, "",
+			func(i int) string { return words[i] },
+			func(a, b string) string {
+				if a > b {
+					return a
+				}
+				return b
+			})
+	}).(string)
+	if got != "zucchini" {
+		t.Fatalf("max = %q", got)
+	}
+}
+
+func BenchmarkParallelFor(b *testing.B) {
+	rt, err := New(Config{Workers: 4, Levels: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	data := make([]float64, 1<<14)
+	b.ResetTimer()
+	rt.Run(func(task *Task) any {
+		for i := 0; i < b.N; i++ {
+			For(task, 0, len(data), 1024, func(j int) {
+				data[j] = float64(j) * 1.5
+			})
+		}
+		return nil
+	})
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates every figure's data into results/*.txt.
+# Takes ~25 minutes on a single CPU; run nothing else meanwhile
+# (concurrent work shows up as latency noise in every scheduler).
+set -x
+cd "$(dirname "$0")/.."
+go run ./cmd/memcached-bench -fig 1 -rps 400,800,1200,1600 -dur 1500ms -reps 3 > results/fig1.txt 2>&1
+go run ./cmd/memcached-bench -fig 2 -rps 1000,2000,3000,4500 -dur 1500ms -reps 3 -conns 256 > results/fig2.txt 2>&1
+go run ./cmd/memcached-bench -fig 3 -rps 400,800,1200,1600 -dur 1500ms -reps 3 -quick > results/fig3.txt 2>&1
+go run ./cmd/jobserver-bench -rps 30,40,50 -dur 3s > results/fig4.txt 2>&1
+go run ./cmd/emailserver-bench -rps 250,500,800 -dur 2500ms > results/fig5.txt 2>&1
+go run ./cmd/waste-bench -dur 3s > results/fig6.txt 2>&1
+go run ./cmd/qos-search -server pthread -dur 1200ms > results/qos-pthread.txt 2>&1
+go run ./cmd/qos-search -server prompt -dur 1200ms > results/qos-prompt.txt 2>&1
+go run ./cmd/qos-search -server adaptive -dur 1200ms > results/qos-adaptive.txt 2>&1
+echo ALL-DONE

@@ -1,0 +1,33 @@
+package icilk
+
+import "icilk/internal/sched"
+
+// Mutex is a task-aware mutual-exclusion lock: Lock suspends the
+// calling task's execution context (its deque) rather than blocking a
+// worker, and contended handoff is FIFO — consistent with the
+// runtime's aging heuristic. This addresses the paper's stated future
+// work: interactive applications "use many features, e.g. locks and
+// condition variables, which must be handled better".
+type Mutex = sched.Mutex
+
+// Cond is a task-aware condition variable over a Mutex.
+type Cond = sched.Cond
+
+// NewMutex creates a task mutex bound to this runtime.
+func (r *Runtime) NewMutex() *Mutex { return r.rt.NewMutex() }
+
+// NewCond creates a condition variable over m.
+func (r *Runtime) NewCond(m *Mutex) *Cond { return r.rt.NewCond(m) }
+
+// Inversions returns the number of priority-inverted waits detected
+// dynamically since the runtime started: gets of futures owned by
+// strictly lower-priority levels, and lock acquisitions blocked on
+// lower-priority holders. The prior work underlying the paper rejects
+// such programs statically; a non-zero count here means the paper's
+// bounded-response-time guarantees do not apply to the inverted
+// waits.
+func (r *Runtime) Inversions() int64 { return r.rt.Inversions() }
+
+// OnInversion registers a callback invoked on every detected
+// inversion (set before submitting work; must be fast).
+func (r *Runtime) OnInversion(fn func()) { r.rt.OnInversion(fn) }

@@ -1,0 +1,44 @@
+package icilk
+
+// Typed future wrappers. The core runtime traffics in `any` (its
+// deques are type-erased); these generic helpers restore compile-time
+// typing at the API boundary with zero scheduling-path cost.
+
+// FutureOf is a typed view over a Future whose value is a T.
+type FutureOf[T any] struct {
+	f *Future
+}
+
+// FutCreateOf creates a future computing a T at the given priority
+// level (a typed t.FutCreate).
+func FutCreateOf[T any](t *Task, level int, fn func(*Task) T) FutureOf[T] {
+	return FutureOf[T]{f: t.FutCreate(level, func(ct *Task) any { return fn(ct) })}
+}
+
+// SubmitOf injects a typed future routine from any goroutine (a typed
+// Runtime.Submit).
+func SubmitOf[T any](r *Runtime, level int, fn func(*Task) T) FutureOf[T] {
+	return FutureOf[T]{f: r.Submit(level, func(ct *Task) any { return fn(ct) })}
+}
+
+// Get returns the value, suspending the calling task until complete.
+func (ft FutureOf[T]) Get(t *Task) T { return ft.f.Get(t).(T) }
+
+// Wait blocks the calling (non-task) goroutine until complete.
+func (ft FutureOf[T]) Wait() T { return ft.f.Wait().(T) }
+
+// TryGet returns the value if already complete.
+func (ft FutureOf[T]) TryGet() (T, bool) {
+	v, ok := ft.f.TryGet()
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return v.(T), true
+}
+
+// Done reports completion.
+func (ft FutureOf[T]) Done() bool { return ft.f.Done() }
+
+// Untyped returns the underlying Future handle.
+func (ft FutureOf[T]) Untyped() *Future { return ft.f }

@@ -1,0 +1,70 @@
+package icilk
+
+import "testing"
+
+func TestFutCreateOfTyped(t *testing.T) {
+	rt := newRT(t, Config{Workers: 2, Levels: 2})
+	got := rt.Run(func(task *Task) any {
+		f := FutCreateOf(task, 0, func(*Task) int { return 21 })
+		g := FutCreateOf(task, 1, func(ct *Task) string { return "x" })
+		return f.Get(task)*2 + len(g.Get(task))
+	}).(int)
+	if got != 43 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestSubmitOfTyped(t *testing.T) {
+	rt := newRT(t, Config{Workers: 2, Levels: 1})
+	f := SubmitOf(rt, 0, func(*Task) []int { return []int{1, 2, 3} })
+	if got := f.Wait(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if !f.Done() {
+		t.Fatal("not done after Wait")
+	}
+	if v, ok := f.TryGet(); !ok || v[0] != 1 {
+		t.Fatalf("TryGet = %v, %v", v, ok)
+	}
+	if f.Untyped() == nil {
+		t.Fatal("Untyped returned nil")
+	}
+}
+
+func TestTypedTryGetIncomplete(t *testing.T) {
+	rt := newRT(t, Config{Workers: 1, Levels: 1})
+	gate := rt.NewIOFuture()
+	f := SubmitOf(rt, 0, func(task *Task) int {
+		gate.Get(task)
+		return 5
+	})
+	if v, ok := f.TryGet(); ok || v != 0 {
+		t.Fatalf("TryGet on incomplete = %v, %v (want zero value, false)", v, ok)
+	}
+	gate.Complete(nil)
+	if f.Wait() != 5 {
+		t.Fatal("wrong value")
+	}
+}
+
+func TestPublicMutexAndInversions(t *testing.T) {
+	rt := newRT(t, Config{Workers: 2, Levels: 2})
+	m := rt.NewMutex()
+	c := rt.NewCond(m)
+	fired := 0
+	rt.OnInversion(func() { fired++ })
+
+	done := rt.Submit(0, func(task *Task) any {
+		m.Lock(task)
+		defer m.Unlock()
+		// Inverted get: level-0 task waits on a level-1 future.
+		f := task.FutCreate(1, func(*Task) any { return nil })
+		f.Get(task)
+		return nil
+	})
+	done.Wait()
+	if rt.Inversions() != 1 || fired != 1 {
+		t.Fatalf("inversions = %d, callback fired %d", rt.Inversions(), fired)
+	}
+	_ = c
+}
