@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"icilk"
 	"icilk/internal/bench"
 	"icilk/internal/jobserver"
 )
@@ -27,7 +28,19 @@ func main() {
 	workers := flag.Int("workers", 4, "scheduler workers (paper: 20)")
 	quick := flag.Bool("quick", false, "2-point parameter sweep")
 	seed := flag.Uint64("seed", 0xbeef, "workload seed")
+	admin := flag.String("admin", "", "admin HTTP address (host:port); follows the current run's runtime")
 	flag.Parse()
+
+	if *admin != "" {
+		adm := icilk.NewAdminServer()
+		if err := adm.Start(*admin); err != nil {
+			fmt.Fprintln(os.Stderr, "admin:", err)
+			os.Exit(1)
+		}
+		defer adm.Close()
+		bench.OnRuntime = func(rt *icilk.Runtime) { rt.AttachAdmin(adm) }
+		fmt.Printf("# admin endpoint on http://%s\n", adm.Addr())
+	}
 
 	var rps []float64
 	for _, s := range strings.Split(*rpsList, ",") {

@@ -33,7 +33,19 @@ func main() {
 	quick := flag.Bool("quick", false, "2-point parameter sweep instead of 4")
 	seed := flag.Uint64("seed", 0xcafe, "workload seed")
 	reps := flag.Int("reps", 1, "repetitions per point (median by p99 reported)")
+	admin := flag.String("admin", "", "admin HTTP address (host:port); follows the current run's runtime")
 	flag.Parse()
+
+	if *admin != "" {
+		adm := icilk.NewAdminServer()
+		if err := adm.Start(*admin); err != nil {
+			fmt.Fprintln(os.Stderr, "admin:", err)
+			os.Exit(1)
+		}
+		defer adm.Close()
+		bench.OnRuntime = func(rt *icilk.Runtime) { rt.AttachAdmin(adm) }
+		fmt.Printf("# admin endpoint on http://%s\n", adm.Addr())
+	}
 
 	var rps []float64
 	for _, s := range strings.Split(*rpsList, ",") {

@@ -28,17 +28,14 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:11211", "listen address (host:port)")
 	network := flag.String("net", "tcp", "network (tcp, unix)")
 	workers := flag.Int("workers", 4, "scheduler workers")
-	schedName := flag.String("scheduler", "prompt", "prompt, adaptive, adaptive+aging, adaptive-greedy")
+	schedName := flag.String("scheduler", "prompt", icilk.SchedulerNames())
 	maxBytes := flag.Int64("max-bytes", 64<<20, "cache size bound (0 = unbounded)")
+	admin := flag.String("admin", "", "admin HTTP address (host:port) serving /metrics, /debug/sched, /debug/trace")
 	flag.Parse()
 
-	kinds := map[string]icilk.Scheduler{
-		"prompt": icilk.Prompt, "adaptive": icilk.Adaptive,
-		"adaptive+aging": icilk.AdaptiveAging, "adaptive-greedy": icilk.AdaptiveGreedy,
-	}
-	kind, ok := kinds[*schedName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *schedName)
+	kind, err := icilk.ParseScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -49,7 +46,20 @@ func main() {
 	}
 	store := memcached.NewStore(memcached.StoreConfig{MaxBytes: *maxBytes})
 	hist := stats.NewHistogram()
-	srv := memcached.NewICilkServer(store, rt, memcached.ICilkConfig{ServiceHistogram: hist})
+	srv := memcached.NewICilkServer(store, rt, memcached.ICilkConfig{
+		ServiceHistogram: hist,
+		Metrics:          rt.Metrics(),
+	})
+	if *admin != "" {
+		netreal.DefaultStats.RegisterMetrics(rt.Metrics())
+		adm, err := rt.ServeAdmin(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "admin:", err)
+			os.Exit(1)
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint on http://%s (/metrics, /debug/sched, /debug/trace)\n", adm.Addr())
+	}
 
 	nl, err := net.Listen(*network, *listen)
 	if err != nil {

@@ -26,11 +26,18 @@ func main() {
 	pct := flag.Float64("pct", 95, "QoS percentile")
 	dur := flag.Duration("dur", 1500*time.Millisecond, "window per probe")
 	conns := flag.Int("conns", 64, "client connections")
+	admin := flag.String("admin", "", "admin HTTP address (host:port); follows the current probe's runtime")
 	flag.Parse()
 
-	kinds := map[string]icilk.Scheduler{
-		"prompt": icilk.Prompt, "adaptive": icilk.Adaptive,
-		"adaptive+aging": icilk.AdaptiveAging, "adaptive-greedy": icilk.AdaptiveGreedy,
+	if *admin != "" {
+		adm := icilk.NewAdminServer()
+		if err := adm.Start(*admin); err != nil {
+			fmt.Fprintln(os.Stderr, "admin:", err)
+			os.Exit(1)
+		}
+		defer adm.Close()
+		bench.OnRuntime = func(rt *icilk.Runtime) { rt.AttachAdmin(adm) }
+		fmt.Printf("# admin endpoint on http://%s\n", adm.Addr())
 	}
 
 	run := func(rps float64) *stats.Recorder {
@@ -40,9 +47,9 @@ func main() {
 		if *server == "pthread" {
 			r, err = bench.RunMemcachedPthread(opt)
 		} else {
-			kind, ok := kinds[*server]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown server %q\n", *server)
+			kind, perr := icilk.ParseScheduler(*server)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "unknown server %q (valid: pthread, %s)\n", *server, icilk.SchedulerNames())
 				os.Exit(2)
 			}
 			r, err = bench.RunMemcachedICilk(kind, bench.DefaultSweep()[1], opt)

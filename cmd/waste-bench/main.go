@@ -22,7 +22,19 @@ func main() {
 	memcRPS := flag.Float64("memc-rps", 1000, "memcached RPS")
 	emailRPS := flag.Float64("email-rps", 600, "email server RPS")
 	jobRPS := flag.Float64("job-rps", 40, "job server RPS")
+	admin := flag.String("admin", "", "admin HTTP address (host:port); follows the current run's runtime")
 	flag.Parse()
+
+	if *admin != "" {
+		adm := icilk.NewAdminServer()
+		if err := adm.Start(*admin); err != nil {
+			fmt.Fprintln(os.Stderr, "admin:", err)
+			os.Exit(1)
+		}
+		defer adm.Close()
+		bench.OnRuntime = func(rt *icilk.Runtime) { rt.AttachAdmin(adm) }
+		fmt.Printf("# admin endpoint on http://%s\n", adm.Addr())
+	}
 
 	fmt.Println("# Figure 6: waste and running time, Adaptive I-Cilk vs Prompt I-Cilk")
 	fmt.Println("# Paper expectation: Prompt incurs slightly higher running time but much")

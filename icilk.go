@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"icilk/internal/iopool"
+	"icilk/internal/metrics"
 	"icilk/internal/sched"
 	"icilk/internal/stats"
 	"icilk/internal/trace"
@@ -85,12 +86,16 @@ type Config struct {
 	// TraceCapacity, if positive, enables the scheduler event trace
 	// (see Runtime.Trace) with a ring of that many events.
 	TraceCapacity int
+	// IOQueueCapacity bounds the I/O completion queue (submitters
+	// block beyond it). Default 4096, the paper-era hard-coded value.
+	IOQueueCapacity int
 }
 
 // Runtime is a running scheduler instance plus its I/O subsystem.
 type Runtime struct {
-	rt *sched.Runtime
-	io *iopool.Pool
+	rt      *sched.Runtime
+	io      *iopool.Pool
+	metrics *metrics.Registry
 }
 
 // New creates and starts a runtime.
@@ -110,7 +115,11 @@ func New(cfg Config) (*Runtime, error) {
 	if io <= 0 {
 		io = 4
 	}
-	return &Runtime{rt: rt, io: iopool.New(io)}, nil
+	pool := iopool.New(io, iopool.WithCapacity(cfg.IOQueueCapacity))
+	reg := metrics.NewRegistry()
+	rt.RegisterMetrics(reg)
+	pool.RegisterMetrics(reg)
+	return &Runtime{rt: rt, io: pool, metrics: reg}, nil
 }
 
 // Close shuts the runtime down. Drain outstanding work first (wait on

@@ -1,0 +1,189 @@
+// Package admin is the runtime's introspection HTTP server (stdlib
+// net/http only): a small endpoint surface for watching a live
+// scheduler instead of instrumenting a test harness around it.
+//
+//	GET /            endpoint index (text)
+//	GET /metrics     Prometheus text exposition of the metric registry
+//	GET /debug/sched JSON scheduler snapshot (bitfield, per-level pool
+//	                 depths, per-worker state and waste clocks)
+//	GET /debug/trace JSON snapshot of the recent scheduler event ring
+//	                 (?n=K limits to the most recent K events)
+//
+// The server's data sources are swappable at runtime (SetSources), so
+// one admin server can follow a sequence of short-lived runtimes — the
+// benchmark binaries re-point it at each measurement's runtime.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"icilk/internal/metrics"
+	"icilk/internal/trace"
+)
+
+// Sources are the data feeds behind the endpoints. Any field may be
+// nil/zero; the corresponding endpoint then answers 503.
+type Sources struct {
+	// Metrics backs GET /metrics.
+	Metrics *metrics.Registry
+	// Sched returns the scheduler snapshot for GET /debug/sched; the
+	// result is JSON-marshalled as-is.
+	Sched func() any
+	// TraceEvents returns the retained scheduler events, oldest
+	// first, for GET /debug/trace; enabled is false when the runtime
+	// was built without an event trace (TraceCapacity 0).
+	TraceEvents func() (events []trace.Event, enabled bool)
+}
+
+// Server is the admin HTTP server. Create with New, point it at a
+// runtime with SetSources, bind with Start.
+type Server struct {
+	mux *http.ServeMux
+	src atomic.Pointer[Sources]
+
+	mu   sync.Mutex
+	ln   net.Listener
+	http *http.Server
+}
+
+// New creates a server with no sources attached.
+func New() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.src.Store(&Sources{})
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/sched", s.handleSched)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	return s
+}
+
+// SetSources re-points the endpoints (atomically; in-flight requests
+// finish against the sources they started with).
+func (s *Server) SetSources(src Sources) { s.src.Store(&src) }
+
+// Handler returns the route handler (tests drive it via
+// httptest without binding a socket).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr and serves in a background goroutine.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("admin: already started on %s", s.ln.Addr())
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux}
+	s.mu.Unlock()
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	h := s.http
+	s.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "icilk admin endpoints:\n"+
+		"  /metrics      Prometheus text exposition\n"+
+		"  /debug/sched  scheduler snapshot (JSON)\n"+
+		"  /debug/trace  recent scheduler events (JSON, ?n=K)\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	src := s.src.Load()
+	if src.Metrics == nil {
+		http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	src.Metrics.WriteTo(w)
+}
+
+func (s *Server) handleSched(w http.ResponseWriter, r *http.Request) {
+	src := s.src.Load()
+	if src.Sched == nil {
+		http.Error(w, "no scheduler attached", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, src.Sched())
+}
+
+// traceEvent is the JSON rendering of one trace.Event (kind as its
+// string name).
+type traceEvent struct {
+	TS     int64  `json:"ts"`
+	Worker int32  `json:"worker"`
+	Level  int32  `json:"level"`
+	Kind   string `json:"kind"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	src := s.src.Load()
+	if src.TraceEvents == nil {
+		http.Error(w, "no trace source attached", http.StatusServiceUnavailable)
+		return
+	}
+	evs, enabled := src.TraceEvents()
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if n < len(evs) {
+			evs = evs[len(evs)-n:]
+		}
+	}
+	out := struct {
+		Enabled bool         `json:"enabled"`
+		Events  []traceEvent `json:"events"`
+	}{Enabled: enabled, Events: make([]traceEvent, len(evs))}
+	for i, e := range evs {
+		out.Events[i] = traceEvent{TS: e.TS, Worker: e.Worker, Level: e.Level, Kind: e.Kind.String()}
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Header already sent; nothing more we can do.
+		return
+	}
+}

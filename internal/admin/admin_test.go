@@ -1,0 +1,164 @@
+package admin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"icilk/internal/metrics"
+	"icilk/internal/trace"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res, string(body)
+}
+
+func TestEndpointsUnavailableWithoutSources(t *testing.T) {
+	s := New()
+	for _, path := range []string{"/metrics", "/debug/sched", "/debug/trace"} {
+		res, _ := get(t, s.Handler(), path)
+		if res.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s = %d, want 503", path, res.StatusCode)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("icilk_test_total", "help").Add(3)
+	s := New()
+	s.SetSources(Sources{Metrics: reg})
+	res, body := get(t, s.Handler(), "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "icilk_test_total 3\n") {
+		t.Errorf("body missing counter:\n%s", body)
+	}
+}
+
+func TestSchedEndpoint(t *testing.T) {
+	s := New()
+	s.SetSources(Sources{Sched: func() any {
+		return map[string]any{"policy": "prompt", "bitfield": 5}
+	}})
+	res, body := get(t, s.Handler(), "/debug/sched")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if got["policy"] != "prompt" || got["bitfield"] != float64(5) {
+		t.Errorf("decoded %v", got)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	evs := []trace.Event{
+		{TS: 1, Worker: 0, Level: 0, Kind: trace.Steal},
+		{TS: 2, Worker: 1, Level: 1, Kind: trace.Mug},
+		{TS: 3, Worker: 2, Level: 0, Kind: trace.Abandon},
+	}
+	s := New()
+	s.SetSources(Sources{TraceEvents: func() ([]trace.Event, bool) { return evs, true }})
+
+	decode := func(body string) (bool, []traceEvent) {
+		var out struct {
+			Enabled bool         `json:"enabled"`
+			Events  []traceEvent `json:"events"`
+		}
+		if err := json.Unmarshal([]byte(body), &out); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, body)
+		}
+		return out.Enabled, out.Events
+	}
+
+	_, body := get(t, s.Handler(), "/debug/trace")
+	enabled, all := decode(body)
+	if !enabled || len(all) != 3 {
+		t.Fatalf("enabled=%v events=%d, want true/3", enabled, len(all))
+	}
+	if all[0].Kind != "steal" || all[1].Kind != "mug" || all[2].Kind != "abandon" {
+		t.Errorf("kinds = %v %v %v", all[0].Kind, all[1].Kind, all[2].Kind)
+	}
+
+	// ?n keeps the most recent events.
+	_, body = get(t, s.Handler(), "/debug/trace?n=1")
+	if _, last := decode(body); len(last) != 1 || last[0].TS != 3 {
+		t.Errorf("?n=1 returned %v", last)
+	}
+
+	res, _ := get(t, s.Handler(), "/debug/trace?n=bogus")
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", res.StatusCode)
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	s := New()
+	s.SetSources(Sources{TraceEvents: func() ([]trace.Event, bool) { return nil, false }})
+	_, body := get(t, s.Handler(), "/debug/trace")
+	var out struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Enabled {
+		t.Error("enabled=true for a runtime without a trace")
+	}
+}
+
+func TestSetSourcesSwaps(t *testing.T) {
+	a := metrics.NewRegistry()
+	a.Counter("icilk_run_a_total", "")
+	b := metrics.NewRegistry()
+	b.Counter("icilk_run_b_total", "")
+	s := New()
+	s.SetSources(Sources{Metrics: a})
+	if _, body := get(t, s.Handler(), "/metrics"); !strings.Contains(body, "icilk_run_a_total") {
+		t.Fatal("first registry not served")
+	}
+	s.SetSources(Sources{Metrics: b})
+	_, body := get(t, s.Handler(), "/metrics")
+	if !strings.Contains(body, "icilk_run_b_total") || strings.Contains(body, "icilk_run_a_total") {
+		t.Errorf("swap not effective:\n%s", body)
+	}
+}
+
+func TestStartAddrClose(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("icilk_live_total", "").Inc()
+	s := New()
+	s.SetSources(Sources{Metrics: reg})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start did not fail")
+	}
+	res, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), "icilk_live_total 1\n") {
+		t.Errorf("live scrape missing counter:\n%s", body)
+	}
+}

@@ -19,6 +19,19 @@ import (
 	"icilk/internal/workload"
 )
 
+// OnRuntime, when non-nil, is called with every runtime the harness
+// creates, right after construction. The benchmark binaries use it to
+// re-point a long-lived admin server (-admin flag) at the current
+// run's runtime, so /metrics and /debug/sched stay live across a
+// sweep of short-lived runtimes.
+var OnRuntime func(rt *icilk.Runtime)
+
+func notifyRuntime(rt *icilk.Runtime) {
+	if OnRuntime != nil {
+		OnRuntime(rt)
+	}
+}
+
 // Spec names one scheduler configuration to benchmark.
 type Spec struct {
 	Name string
@@ -165,6 +178,7 @@ func RunMemcachedICilk(kind icilk.Scheduler, params icilk.AdaptiveParams, opt Me
 		return nil, err
 	}
 	defer rt.Close()
+	notifyRuntime(rt)
 
 	store := memcached.NewStore(memcached.StoreConfig{})
 	wcfg := memcached.WorkloadConfig{
@@ -300,6 +314,7 @@ func runServer(kind icilk.Scheduler, params icilk.AdaptiveParams, opt ServerOpti
 		return nil, err
 	}
 	defer rt.Close()
+	notifyRuntime(rt)
 	submit, err := mkSubmit(rt)
 	if err != nil {
 		return nil, err
@@ -377,6 +392,7 @@ func RunJobCfg(cfg icilk.Config, opt ServerOptions) (*Run, error) {
 		return nil, err
 	}
 	defer rt.Close()
+	notifyRuntime(rt)
 	srv, err := jobserver.New(rt, jobserver.DefaultConfig())
 	if err != nil {
 		return nil, err

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"icilk"
+	"icilk/internal/metrics"
 	"icilk/internal/netsim"
 )
 
@@ -25,11 +27,51 @@ import (
 type NetFrontend struct {
 	srv *Server
 	rt  *icilk.Runtime
+	ops map[string]*opMetrics // nil unless RegisterMetrics was called
 }
 
 // NewNetFrontend wraps a server.
 func NewNetFrontend(srv *Server, rt *icilk.Runtime) *NetFrontend {
 	return &NetFrontend{srv: srv, rt: rt}
+}
+
+// opMetrics is one operation's request counter and latency histogram.
+type opMetrics struct {
+	reqs *metrics.Counter
+	lat  *metrics.Histogram
+}
+
+// RegisterMetrics exports per-operation request counters and latency
+// histograms (dispatch to completion, as observed by the connection
+// handler) into reg, labeled with each operation's priority level.
+// Call before Serve.
+func (nf *NetFrontend) RegisterMetrics(reg *metrics.Registry) {
+	nf.ops = make(map[string]*opMetrics)
+	app := metrics.L("app", "email")
+	for _, o := range []struct {
+		name  string
+		level int
+	}{
+		{"send", LevelSend}, {"sort", LevelSort},
+		{"comp", LevelCompress}, {"print", LevelPrint},
+	} {
+		op := metrics.L("op", o.name)
+		nf.ops[o.name] = &opMetrics{
+			reqs: reg.Counter("icilk_app_requests_total",
+				"Application requests served.", app, op, metrics.LevelLabel(o.level)),
+			lat: reg.Histogram("icilk_app_request_latency_seconds",
+				"Application request latency (dispatch to completion).",
+				nil, app, op, metrics.LevelLabel(o.level)),
+		}
+	}
+}
+
+// record charges one completed operation (no-op when metrics are off).
+func (nf *NetFrontend) record(op string, t0 time.Time) {
+	if m := nf.ops[op]; m != nil {
+		m.reqs.Inc()
+		m.lat.Observe(time.Since(t0))
+	}
 }
 
 // Serve accepts connections until the listener closes. It blocks; run
@@ -75,7 +117,9 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 			if err != nil {
 				return
 			}
+			t0 := time.Now()
 			nf.srv.Send(user, fields[2], fields[3], body).Get(t)
+			nf.record("send", t0)
 			ep.WriteString("OK\r\n")
 
 		case "SORT":
@@ -83,7 +127,9 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 			if !ok {
 				continue
 			}
+			t0 := time.Now()
 			nf.srv.Sort(user).Get(t)
+			nf.record("sort", t0)
 			ep.WriteString("OK\r\n")
 
 		case "COMPRESS":
@@ -91,7 +137,9 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 			if !ok {
 				continue
 			}
+			t0 := time.Now()
 			n := nf.srv.Compress(user).Get(t).(int)
+			nf.record("comp", t0)
 			fmt.Fprintf(ep, "OK %d\r\n", n)
 
 		case "PRINT":
@@ -99,7 +147,9 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 			if !ok {
 				continue
 			}
+			t0 := time.Now()
 			n := nf.srv.Print(user).Get(t).(int)
+			nf.record("print", t0)
 			fmt.Fprintf(ep, "OK %d\r\n", n)
 
 		case "QUIT":

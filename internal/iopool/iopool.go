@@ -15,7 +15,33 @@
 //     happens off the worker threads, as in the reference design.
 package iopool
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"icilk/internal/metrics"
+)
+
+// DefaultCapacity is the completion-queue bound used when no
+// WithCapacity option is given.
+const DefaultCapacity = 4096
+
+// Option configures a Pool.
+type Option func(*options)
+
+type options struct{ capacity int }
+
+// WithCapacity sets the completion-queue capacity. Submitters block
+// when the queue is full (backpressure on completion storms), so the
+// capacity bounds both memory and the completion-reordering window.
+// Non-positive values keep the default.
+func WithCapacity(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.capacity = n
+		}
+	}
+}
 
 // Pool is a fixed set of I/O handler goroutines draining a FIFO of
 // completion callbacks.
@@ -25,22 +51,35 @@ type Pool struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// depth counts completions submitted but not yet fully processed;
+	// highWater tracks its maximum — the saturation signal that makes
+	// a too-small queue visible instead of silently throttling.
+	depth       atomic.Int64
+	highWater   atomic.Int64
+	completions atomic.Int64
 }
 
 // New starts a pool with the given number of handler threads (the
-// paper uses 4) and queue capacity bound. A zero or negative threads
-// count defaults to 4.
-func New(threads int) *Pool {
+// paper uses 4). A zero or negative threads count defaults to 4;
+// WithCapacity overrides the queue bound (default DefaultCapacity).
+func New(threads int, opts ...Option) *Pool {
 	if threads <= 0 {
 		threads = 4
 	}
-	p := &Pool{ch: make(chan func(), 4096)}
+	o := options{capacity: DefaultCapacity}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	p := &Pool{ch: make(chan func(), o.capacity)}
 	for i := 0; i < threads; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.ch {
 				fn()
+				p.depth.Add(-1)
+				p.completions.Add(1)
 			}
 		}()
 	}
@@ -58,11 +97,48 @@ func (p *Pool) Submit(fn func()) {
 		p.mu.Unlock()
 		return
 	}
+	d := p.depth.Add(1)
+	for {
+		hw := p.highWater.Load()
+		if d <= hw || p.highWater.CompareAndSwap(hw, d) {
+			break
+		}
+	}
 	// Hold the lock across the send so Close cannot close the channel
 	// between the check and the send. Sends only block when the queue
 	// is full, in which case submitters throttle together.
 	p.ch <- fn
 	p.mu.Unlock()
+}
+
+// Depth returns the number of completions submitted but not yet fully
+// processed (queued plus in flight).
+func (p *Pool) Depth() int64 { return p.depth.Load() }
+
+// HighWater returns the maximum Depth ever observed.
+func (p *Pool) HighWater() int64 { return p.highWater.Load() }
+
+// Completions returns the number of completion callbacks processed.
+func (p *Pool) Completions() int64 { return p.completions.Load() }
+
+// Capacity returns the completion-queue bound.
+func (p *Pool) Capacity() int { return cap(p.ch) }
+
+// RegisterMetrics exports the pool's queue gauges and completion
+// counter into reg.
+func (p *Pool) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("icilk_io_queue_depth",
+		"I/O completions submitted but not yet processed.",
+		func() float64 { return float64(p.Depth()) })
+	reg.GaugeFunc("icilk_io_queue_high_water",
+		"Maximum observed I/O completion-queue depth.",
+		func() float64 { return float64(p.HighWater()) })
+	reg.GaugeFunc("icilk_io_queue_capacity",
+		"I/O completion-queue capacity (submitters block beyond it).",
+		func() float64 { return float64(p.Capacity()) })
+	reg.CounterFunc("icilk_io_completions_total",
+		"I/O completion callbacks processed by the handler threads.",
+		func() float64 { return float64(p.Completions()) })
 }
 
 // Close stops accepting work, drains the queue, and waits for the

@@ -83,6 +83,51 @@ func TestCloseDrains(t *testing.T) {
 	}
 }
 
+func TestCapacityOption(t *testing.T) {
+	if got := New(1).Capacity(); got != DefaultCapacity {
+		t.Errorf("default capacity = %d, want %d", got, DefaultCapacity)
+	}
+	if got := New(1, WithCapacity(16)).Capacity(); got != 16 {
+		t.Errorf("WithCapacity(16) capacity = %d", got)
+	}
+	if got := New(1, WithCapacity(0)).Capacity(); got != DefaultCapacity {
+		t.Errorf("WithCapacity(0) capacity = %d, want default %d", got, DefaultCapacity)
+	}
+}
+
+func TestDepthHighWaterCompletions(t *testing.T) {
+	p := New(1, WithCapacity(64))
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const n = 10
+	wg.Add(n)
+	// Block the single handler so submissions pile up deterministically.
+	for i := 0; i < n; i++ {
+		p.Submit(func() {
+			<-release
+			wg.Done()
+		})
+	}
+	if d := p.Depth(); d != n {
+		t.Errorf("depth = %d with handler blocked, want %d", d, n)
+	}
+	if hw := p.HighWater(); hw < n {
+		t.Errorf("high water = %d, want >= %d", hw, n)
+	}
+	close(release)
+	wg.Wait()
+	p.Close()
+	if d := p.Depth(); d != 0 {
+		t.Errorf("depth = %d after drain, want 0", d)
+	}
+	if c := p.Completions(); c != n {
+		t.Errorf("completions = %d, want %d", c, n)
+	}
+	if hw := p.HighWater(); hw < n {
+		t.Errorf("high water = %d after drain, want >= %d", hw, n)
+	}
+}
+
 func TestDefaultThreads(t *testing.T) {
 	p := New(0)
 	done := make(chan struct{})

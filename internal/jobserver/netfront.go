@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"icilk"
+	"icilk/internal/metrics"
 	"icilk/internal/netsim"
 )
 
@@ -27,6 +29,7 @@ import (
 type NetFrontend struct {
 	srv *Server
 	rt  *icilk.Runtime
+	ops [4]*opMetrics // per class; nil entries unless RegisterMetrics was called
 }
 
 // NewNetFrontend wraps a server.
@@ -36,6 +39,32 @@ func NewNetFrontend(srv *Server, rt *icilk.Runtime) *NetFrontend {
 
 // classIndex maps protocol class names to the SJF class indices.
 var classIndex = map[string]int{"mm": 0, "fib": 1, "sort": 2, "sw": 3}
+
+// opMetrics is one job class's request counter and latency histogram.
+type opMetrics struct {
+	reqs *metrics.Counter
+	lat  *metrics.Histogram
+}
+
+// RegisterMetrics exports per-class job counters and latency
+// histograms (RUN dispatch to DONE written — the end-to-end latency
+// the paper's Figure 9 plots per class) into reg, labeled with each
+// class's priority level. Call before Serve.
+func (nf *NetFrontend) RegisterMetrics(reg *metrics.Registry) {
+	app := metrics.L("app", "job")
+	names := []string{"mm", "fib", "sort", "sw"}
+	levels := []int{LevelMM, LevelFib, LevelSort, LevelSW}
+	for i := range nf.ops {
+		op := metrics.L("op", names[i])
+		nf.ops[i] = &opMetrics{
+			reqs: reg.Counter("icilk_app_requests_total",
+				"Application requests served.", app, op, metrics.LevelLabel(levels[i])),
+			lat: reg.Histogram("icilk_app_request_latency_seconds",
+				"Job latency, RUN dispatch to DONE reply written.",
+				nil, app, op, metrics.LevelLabel(levels[i])),
+		}
+	}
+}
 
 // Serve accepts connections until the listener closes. It blocks; run
 // it on a goroutine.
@@ -86,12 +115,18 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 			// the handler keeps reading further pipelined requests —
 			// jobs from one connection run concurrently, as the SJF
 			// server requires.
+			t0 := time.Now()
 			f := nf.srv.Do(class, seed)
 			className := strings.ToLower(fields[1])
 			level := []int{LevelMM, LevelFib, LevelSort, LevelSW}[class]
+			m := nf.ops[class]
 			nf.rt.Submit(level, func(ct *icilk.Task) any {
 				result := f.Get(ct)
 				fmt.Fprintf(ep, "DONE %s %d %v\r\n", className, seed, result)
+				if m != nil {
+					m.reqs.Inc()
+					m.lat.Observe(time.Since(t0))
+				}
 				return nil
 			})
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"icilk"
+	"icilk/internal/metrics"
 	"icilk/internal/netsim"
 	"icilk/internal/stats"
 )
@@ -28,6 +29,11 @@ type ICilkConfig struct {
 	// (request fully parsed to reply written) — constant-memory
 	// latency tracking for long-running deployments.
 	ServiceHistogram *stats.Histogram
+	// Metrics, if non-nil, receives the server's request counter and
+	// service-latency histogram (labeled app="memcached" and the
+	// request priority level) — typically Runtime.Metrics(), so one
+	// /metrics scrape covers scheduler and application together.
+	Metrics *metrics.Registry
 }
 
 // ICilkServer is the task-parallel Memcached port (Section 3 of the
@@ -44,6 +50,9 @@ type ICilkServer struct {
 	stopped atomic.Bool
 	crawler *icilk.Future
 	conns   atomic.Int64
+
+	reqs *metrics.Counter   // nil unless cfg.Metrics is set
+	lat  *metrics.Histogram // nil unless cfg.Metrics is set
 }
 
 // NewICilkServer wraps a store and a runtime.
@@ -57,7 +66,20 @@ func NewICilkServer(store *Store, rt *icilk.Runtime, cfg ICilkConfig) *ICilkServ
 	if cfg.CrawlerLevel <= 0 {
 		cfg.CrawlerLevel = rt.Levels() - 1
 	}
-	return &ICilkServer{store: store, rt: rt, cfg: cfg}
+	s := &ICilkServer{store: store, rt: rt, cfg: cfg}
+	if reg := cfg.Metrics; reg != nil {
+		app := metrics.L("app", "memcached")
+		lvl := metrics.LevelLabel(cfg.RequestLevel)
+		s.reqs = reg.Counter("icilk_app_requests_total",
+			"Application requests served.", app, lvl)
+		s.lat = reg.Histogram("icilk_app_request_latency_seconds",
+			"Application request service latency (parsed to reply written).",
+			nil, app, lvl)
+		reg.GaugeFunc("icilk_app_open_conns",
+			"Live connection-handling future routines.",
+			func() float64 { return float64(s.ActiveConns()) }, app)
+	}
+	return s
 }
 
 // StartCrawler launches the background LRU crawler as a low-priority
@@ -155,9 +177,7 @@ func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 		if len(reply) > 0 {
 			ep.Write(reply)
 		}
-		if h := s.cfg.ServiceHistogram; h != nil {
-			h.Record(time.Since(t0))
-		}
+		s.recordRequest(time.Since(t0))
 		if quit {
 			return
 		}
@@ -199,9 +219,7 @@ func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineRea
 		if resp != nil {
 			ep.Write(resp)
 		}
-		if sh := s.cfg.ServiceHistogram; sh != nil {
-			sh.Record(time.Since(t0))
-		}
+		s.recordRequest(time.Since(t0))
 		if quit {
 			return
 		}
@@ -210,6 +228,18 @@ func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineRea
 			sinceYield = 0
 			t.Yield()
 		}
+	}
+}
+
+// recordRequest charges one completed request to the configured
+// latency sinks.
+func (s *ICilkServer) recordRequest(d time.Duration) {
+	if h := s.cfg.ServiceHistogram; h != nil {
+		h.Record(d)
+	}
+	if s.reqs != nil {
+		s.reqs.Inc()
+		s.lat.Observe(d)
 	}
 }
 

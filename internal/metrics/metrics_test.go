@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("icilk_test_total", "A test counter.")
+	c.Inc()
+	c.Add(4)
+	out := r.String()
+	for _, want := range []string{
+		"# HELP icilk_test_total A test counter.\n",
+		"# TYPE icilk_test_total counter\n",
+		"icilk_test_total 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("icilk_test_gauge", "g", L("level", "0"))
+	g.Set(7)
+	g.Add(-2)
+	r.GaugeFunc("icilk_test_gf", "gf", func() float64 { return 1.5 })
+	r.CounterFunc("icilk_test_cf_total", "cf", func() float64 { return 42 })
+	out := r.String()
+	for _, want := range []string{
+		`icilk_test_gauge{level="0"} 5` + "\n",
+		"icilk_test_gf 1.5\n",
+		"icilk_test_cf_total 42\n",
+		"# TYPE icilk_test_gf gauge\n",
+		"# TYPE icilk_test_cf_total counter\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, time.Second}
+	h := r.Histogram("icilk_test_lat_seconds", "lat", bounds, LevelLabel(1))
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Second) // beyond the last bound: only +Inf
+	out := r.String()
+	for _, want := range []string{
+		"# TYPE icilk_test_lat_seconds histogram\n",
+		`icilk_test_lat_seconds_bucket{level="1",le="0.001"} 1` + "\n",
+		`icilk_test_lat_seconds_bucket{level="1",le="0.01"} 2` + "\n",
+		`icilk_test_lat_seconds_bucket{level="1",le="1"} 2` + "\n",
+		`icilk_test_lat_seconds_bucket{level="1",le="+Inf"} 3` + "\n",
+		`icilk_test_lat_seconds_count{level="1"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("icilk_cum_seconds", "", nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	counts, total, _ := h.Underlying().Cumulative(DefaultLatencyBuckets)
+	if total != 1000 {
+		t.Fatalf("total = %d, want 1000", total)
+	}
+	var prev uint64
+	for i, c := range counts {
+		if c < prev {
+			t.Fatalf("bucket %d not cumulative: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+	if counts[len(counts)-1] != total {
+		// Last bound is 10s, far beyond the largest 999ms sample.
+		t.Fatalf("last bucket %d != total %d", counts[len(counts)-1], total)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("icilk_esc", "", L("path", "a\"b\\c\nd")).Set(1)
+	out := r.String()
+	want := `icilk_esc{path="a\"b\\c\nd"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q:\n%s", want, out)
+	}
+}
+
+func TestFamiliesSortedSeriesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("icilk_b_total", "")
+	r.Counter("icilk_a_total", "")
+	r.Gauge("icilk_c", "", LevelLabel(1)).Set(1)
+	r.Gauge("icilk_c", "", LevelLabel(0)).Set(1)
+	out := r.String()
+	if strings.Index(out, "icilk_a_total") > strings.Index(out, "icilk_b_total") {
+		t.Error("families not sorted by name")
+	}
+	if strings.Index(out, `icilk_c{level="0"}`) > strings.Index(out, `icilk_c{level="1"}`) {
+		t.Error("series not sorted by label signature")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("icilk_dup_total", "", LevelLabel(0))
+	expectPanic("duplicate series", func() { r.Counter("icilk_dup_total", "", LevelLabel(0)) })
+	expectPanic("kind mismatch", func() { r.Gauge("icilk_dup_total", "") })
+	expectPanic("invalid metric name", func() { r.Counter("0bad", "") })
+	expectPanic("invalid label name", func() { r.Counter("icilk_ok_total", "", L("0bad", "v")) })
+	expectPanic("non-ascending bounds", func() {
+		r.Histogram("icilk_h_seconds", "", []time.Duration{2, 1})
+	})
+}
+
+// TestConcurrentUpdatesAndScrapes is the -race exercise: writers on
+// every metric kind race scrapers and late registrations.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("icilk_conc_total", "")
+	g := r.Gauge("icilk_conc_gauge", "")
+	h := r.Histogram("icilk_conc_seconds", "", nil)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 1000
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = r.String()
+			}
+			r.Counter("icilk_late_total", "", LevelLabel(i)).Inc()
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Value(); got != writers*perWriter {
+		t.Fatalf("gauge = %d, want %d", got, writers*perWriter)
+	}
+	if !strings.Contains(r.String(), "icilk_conc_total 8000\n") {
+		t.Error("final scrape missing settled counter value")
+	}
+}

@@ -16,31 +16,100 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"icilk/internal/metrics"
 )
 
 // bufferSoftCap pauses the pump when a client floods faster than the
 // server consumes, providing backpressure.
 const bufferSoftCap = 1 << 20
 
+// Stats aggregates I/O accounting across a set of adapted
+// connections: how many bytes the pumps are holding (memory pressure
+// from slow consumers), how often backpressure engaged, and total
+// socket traffic. Wrap charges connections to DefaultStats; WrapStats
+// takes an explicit instance.
+type Stats struct {
+	buffered  atomic.Int64
+	readBytes atomic.Int64
+	pauses    atomic.Int64
+	conns     atomic.Int64
+}
+
+// DefaultStats is the process-wide account used by Wrap.
+var DefaultStats = &Stats{}
+
+// Buffered returns the bytes currently buffered across live
+// connections.
+func (s *Stats) Buffered() int64 { return s.buffered.Load() }
+
+// ReadBytes returns total bytes pumped off sockets.
+func (s *Stats) ReadBytes() int64 { return s.readBytes.Load() }
+
+// Pauses returns how many times a pump paused on backpressure.
+func (s *Stats) Pauses() int64 { return s.pauses.Load() }
+
+// Conns returns the number of live adapted connections.
+func (s *Stats) Conns() int64 { return s.conns.Load() }
+
+// RegisterMetrics exports the account into reg.
+func (s *Stats) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("icilk_net_buffered_bytes",
+		"Bytes buffered by connection read pumps awaiting consumption.",
+		func() float64 { return float64(s.Buffered()) })
+	reg.GaugeFunc("icilk_net_open_conns",
+		"Live adapted network connections.",
+		func() float64 { return float64(s.Conns()) })
+	reg.CounterFunc("icilk_net_read_bytes_total",
+		"Bytes read off sockets by connection pumps.",
+		func() float64 { return float64(s.ReadBytes()) })
+	reg.CounterFunc("icilk_net_backpressure_pauses_total",
+		"Read-pump pauses because a connection buffer exceeded the soft cap.",
+		func() float64 { return float64(s.Pauses()) })
+}
+
 // Conn adapts a net.Conn to the icilk.Conn interface.
 type Conn struct {
-	nc net.Conn
+	nc    net.Conn
+	stats *Stats
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	buf    []byte
 	pos    int
+	acct   int    // bytes currently charged to stats.buffered
 	rerr   error  // terminal read error (io.EOF after drain)
 	notify func() // armed one-shot readiness callback
 	closed bool
 }
 
-// Wrap starts the read pump over nc and returns the adapter.
-func Wrap(nc net.Conn) *Conn {
-	c := &Conn{nc: nc}
+// Wrap starts the read pump over nc and returns the adapter, charging
+// its accounting to DefaultStats.
+func Wrap(nc net.Conn) *Conn { return WrapStats(nc, DefaultStats) }
+
+// WrapStats starts the read pump over nc, charging accounting to
+// stats.
+func WrapStats(nc net.Conn, stats *Stats) *Conn {
+	c := &Conn{nc: nc, stats: stats}
 	c.cond = sync.NewCond(&c.mu)
+	stats.conns.Add(1)
 	go c.pump()
 	return c
+}
+
+// syncAcct reconciles stats.buffered with this connection's current
+// buffered byte count. Must be called with c.mu held after any change
+// to buf/pos/closed.
+func (c *Conn) syncAcct() {
+	cur := len(c.buf) - c.pos
+	if c.closed {
+		cur = 0
+	}
+	if d := cur - c.acct; d != 0 {
+		c.stats.buffered.Add(int64(d))
+		c.acct = cur
+	}
 }
 
 // pump moves bytes from the socket into the buffer and fires
@@ -52,6 +121,8 @@ func (c *Conn) pump() {
 		c.mu.Lock()
 		if n > 0 {
 			c.buf = append(c.buf, chunk[:n]...)
+			c.stats.readBytes.Add(int64(n))
+			c.syncAcct()
 		}
 		if err != nil {
 			c.rerr = err
@@ -60,6 +131,9 @@ func (c *Conn) pump() {
 		c.notify = nil
 		c.cond.Broadcast()
 		// Backpressure: wait for the consumer to drain.
+		if len(c.buf)-c.pos > bufferSoftCap && c.rerr == nil && !c.closed {
+			c.stats.pauses.Add(1)
+		}
 		for len(c.buf)-c.pos > bufferSoftCap && c.rerr == nil && !c.closed {
 			c.cond.Wait()
 		}
@@ -88,6 +162,7 @@ func (c *Conn) TryRead(p []byte) (int, error) {
 			c.pos = 0
 			c.cond.Broadcast() // release pump backpressure
 		}
+		c.syncAcct()
 		return n, nil
 	}
 	if c.rerr != nil {
@@ -126,7 +201,11 @@ func (c *Conn) WriteString(s string) (int, error) { return c.nc.Write([]byte(s))
 // Close shuts the socket and the pump down.
 func (c *Conn) Close() error {
 	c.mu.Lock()
-	c.closed = true
+	if !c.closed {
+		c.closed = true
+		c.stats.conns.Add(-1)
+		c.syncAcct()
+	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	return c.nc.Close()

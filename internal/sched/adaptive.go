@@ -210,7 +210,7 @@ func (p *adaptivePolicy) findWork(w *worker) (*node, *dq) {
 			time.Sleep(napDuration)
 			continue
 		}
-		w.level = a
+		w.level.Store(int32(a))
 		t0 := time.Now()
 		for try := 0; try < rt.cfg.StealTries; try++ {
 			// Random victim, then random deque in its pool — the
@@ -309,6 +309,20 @@ func (p *adaptivePolicy) checkSwitch(w *worker, level int) (int, bool) {
 	return 0, false
 }
 
+// poolDepths sums the per-worker pool populations at level; the
+// "mugging" slot reports the aging-queue length (entries are hints
+// and may include stale deques).
+func (p *adaptivePolicy) poolDepths(level int) (regular, mugging int) {
+	for wid := range p.pools {
+		wp := p.pools[wid][level]
+		wp.mu.Lock()
+		regular += len(wp.deques)
+		mugging += len(wp.resumableQ)
+		wp.mu.Unlock()
+	}
+	return regular, mugging
+}
+
 // rebalance redistributes each level's deques evenly across the
 // workers currently assigned to that level — Adaptive I-Cilk's
 // periodic rebalancing "to ensure that the probability of stealing
@@ -371,7 +385,7 @@ func (p *greedyPolicy) findWork(w *worker) (*node, *dq) {
 			time.Sleep(napDuration)
 			continue
 		}
-		w.level = a
+		w.level.Store(int32(a))
 		t0 := time.Now()
 		if frame, d, ok := p.pool.pop(w, a); ok {
 			w.clock.AddOverhead(time.Since(t0))
@@ -415,6 +429,10 @@ func (p *greedyPolicy) checkSwitch(w *worker, level int) (int, bool) {
 		return a, true
 	}
 	return 0, false
+}
+
+func (p *greedyPolicy) poolDepths(level int) (regular, mugging int) {
+	return p.pool.depths(level)
 }
 
 // allocator is the shared top-level quantum scheduler of the Adaptive

@@ -54,6 +54,12 @@ func (p *centralPool) enqueue(d *dq, mug bool) {
 	p.rt.trace.Add(trace.Enqueue, -1, lvl)
 }
 
+// depths returns the instantaneous regular and mugging queue depths
+// at level (size estimates; see fifoq.Len).
+func (p *centralPool) depths(level int) (regular, mugging int) {
+	return p.levels[level].regular.Len(), p.levels[level].mugging.Len()
+}
+
 // empty reports whether the level's pool (both queues) appears empty.
 func (p *centralPool) empty(level int) bool {
 	return p.levels[level].mugging.Empty() && p.levels[level].regular.Empty()

@@ -70,6 +70,7 @@ func (f *Future) complete(v any) {
 
 	for _, d := range ws {
 		needsEnqueue := d.MarkResumable()
+		f.rt.resumes.Add(1)
 		f.rt.trace.Add(trace.Resume, -1, d.Level())
 		f.rt.pol.onResumable(d, needsEnqueue)
 	}
@@ -109,6 +110,7 @@ func (f *Future) Get(t *Task) any {
 	d.Suspend(t.n)
 	f.waiters = append(f.waiters, d)
 	f.mu.Unlock()
+	t.w.clock.CountSuspend()
 	t.rt.trace.Add(trace.Suspend, t.w.id, t.level)
 
 	t.rt.pol.onSuspend(t.w, d)
@@ -141,6 +143,7 @@ func (rt *Runtime) submitNode(n *node, level int) {
 	d := rt.newDeque(level)
 	d.Suspend(n)
 	needsEnqueue := d.MarkResumable()
+	rt.resumes.Add(1)
 	rt.pol.onResumable(d, needsEnqueue)
 }
 

@@ -48,4 +48,12 @@ type policy interface {
 	// This is Prompt's frequent bitfield check, and the
 	// assignment-changed check for the Adaptive variants.
 	checkSwitch(w *worker, level int) (int, bool)
+
+	// poolDepths reports the discoverable-deque population at level
+	// for observability snapshots: the regular and mugging queue
+	// depths for the centralized-pool policies; for the Adaptive
+	// variants, the total per-worker pool population and the aging
+	// (resumption-order) queue length. Instantaneous and racy by
+	// design — a monitoring read, not a synchronization primitive.
+	poolDepths(level int) (regular, mugging int)
 }

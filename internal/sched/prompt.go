@@ -47,7 +47,7 @@ func (p *promptPolicy) findWork(w *worker) (*node, *dq) {
 			}
 			continue
 		}
-		w.level = level
+		w.level.Store(int32(level))
 		t0 := time.Now()
 		if frame, d, ok := p.pool.pop(w, level); ok {
 			w.clock.AddOverhead(time.Since(t0))
@@ -114,4 +114,8 @@ func (p *promptPolicy) onDequeDead(w *worker, d *dq) {
 // strictly higher-priority level has work.
 func (p *promptPolicy) checkSwitch(w *worker, level int) (int, bool) {
 	return p.rt.bits.HigherThan(level)
+}
+
+func (p *promptPolicy) poolDepths(level int) (regular, mugging int) {
+	return p.pool.depths(level)
 }

@@ -182,6 +182,10 @@ type Runtime struct {
 	// harnesses drain before Close.
 	inflight atomic.Int64
 
+	// resumes counts deques made resumable (future completions waking
+	// waiters, plus external submissions entering as resumable).
+	resumes atomic.Int64
+
 	// inv tracks dynamically detected priority inversions.
 	inv inversionState
 
@@ -271,6 +275,8 @@ func (rt *Runtime) WasteReport() stats.WasteReport {
 		agg.FailedSteals += r.FailedSteals
 		agg.Sleeps += r.Sleeps
 		agg.Abandons += r.Abandons
+		agg.Checks += r.Checks
+		agg.Suspends += r.Suspends
 	}
 	return agg
 }
@@ -336,9 +342,12 @@ type yieldMsg struct {
 
 // worker is one scheduler worker.
 type worker struct {
-	id    int
-	rt    *Runtime
-	level int // current priority level
+	id int
+	rt *Runtime
+	// level is the worker's current priority level. Atomic only so
+	// that Snapshot can read it from other goroutines; the worker is
+	// the sole writer.
+	level atomic.Int32
 	// assigned is the Adaptive top-level allocator's target level for
 	// this worker; -1 means parked (no allocation).
 	assigned atomic.Int32
@@ -365,7 +374,7 @@ func (w *worker) run() {
 			continue
 		}
 		w.active = d
-		w.level = d.Level()
+		w.level.Store(int32(d.Level()))
 		w.execute(n)
 	}
 }
@@ -379,7 +388,7 @@ func (w *worker) execute(n *node) {
 		msg := <-w.yield
 		elapsed := time.Since(start)
 		w.clock.AddWork(elapsed)
-		w.rt.levelWork[w.level].Add(int64(elapsed))
+		w.rt.levelWork[w.level.Load()].Add(int64(elapsed))
 
 		switch msg.kind {
 		case ySpawn:
@@ -408,7 +417,7 @@ func (w *worker) execute(n *node) {
 				nd := w.rt.newDeque(msg.ready.t.level)
 				w.rt.pol.onAdopt(w, nd)
 				w.active = nd
-				w.level = nd.Level()
+				w.level.Store(int32(nd.Level()))
 				n = msg.ready
 				continue
 			}
@@ -435,7 +444,7 @@ func (w *worker) execute(n *node) {
 			// The task already marked the deque immediately-resumable
 			// and enqueued it; move to the target level.
 			w.active = nil
-			w.level = msg.level
+			w.level.Store(int32(msg.level))
 			n = nil
 		}
 	}

@@ -105,6 +105,7 @@ func (t *Task) finish() {
 // variants the trigger is instead a changed quantum-boundary
 // assignment.
 func (t *Task) maybeSwitch() {
+	t.w.clock.CountCheck()
 	target, ok := t.rt.pol.checkSwitch(t.w, t.level)
 	if !ok {
 		return

@@ -117,6 +117,37 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.max
 }
 
+// Cumulative returns, for each of the given ascending upper bounds,
+// the number of samples in buckets wholly at or below that bound,
+// plus the total sample count and the exact sum — the quantities a
+// Prometheus histogram exposition needs. Counts inherit the
+// histogram's bucket granularity: a sample is attributed to a bound
+// only once its whole log-bucket fits under it, so each cumulative
+// count errs by at most one bucket width (the growth factor, 7% by
+// default).
+func (h *Histogram) Cumulative(bounds []time.Duration) (counts []uint64, total uint64, sum time.Duration) {
+	counts = make([]uint64, len(bounds))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	bi := 0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		u := h.bucketUpper(i)
+		for bi < len(bounds) && u > bounds[bi] {
+			counts[bi] = cum
+			bi++
+		}
+		cum += c
+	}
+	for ; bi < len(bounds); bi++ {
+		counts[bi] = cum
+	}
+	return counts, h.total, h.sum
+}
+
 // Mean returns the exact mean (sums are tracked exactly).
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()

@@ -31,6 +31,8 @@ type WorkerClock struct {
 	failedSteals atomic.Int64 // pool/victim probes that found nothing
 	sleeps       atomic.Int64 // bitfield-zero sleep transitions
 	abandons     atomic.Int64 // deques abandoned for higher priority
+	checks       atomic.Int64 // bitfield/assignment checks at scheduling points
+	suspends     atomic.Int64 // deques suspended at a failed get
 }
 
 // AddWork adds d to the work category.
@@ -57,6 +59,14 @@ func (c *WorkerClock) CountSleep() { c.sleeps.Add(1) }
 // CountAbandon records one priority-driven deque abandonment.
 func (c *WorkerClock) CountAbandon() { c.abandons.Add(1) }
 
+// CountCheck records one scheduling-point priority check (Prompt's
+// bitfield read at every spawn/sync/fut-create/get; the
+// assignment-changed check for the Adaptive variants).
+func (c *WorkerClock) CountCheck() { c.checks.Add(1) }
+
+// CountSuspend records one deque suspension at a failed get.
+func (c *WorkerClock) CountSuspend() { c.suspends.Add(1) }
+
 // WasteReport is a snapshot of a WorkerClock.
 type WasteReport struct {
 	Work         time.Duration
@@ -67,6 +77,8 @@ type WasteReport struct {
 	FailedSteals int64
 	Sleeps       int64
 	Abandons     int64
+	Checks       int64
+	Suspends     int64
 }
 
 // Running returns the paper's "running time": work plus scheduling
@@ -84,6 +96,8 @@ func (c *WorkerClock) Snapshot() WasteReport {
 		FailedSteals: c.failedSteals.Load(),
 		Sleeps:       c.sleeps.Load(),
 		Abandons:     c.abandons.Load(),
+		Checks:       c.checks.Load(),
+		Suspends:     c.suspends.Load(),
 	}
 }
 
@@ -97,4 +111,6 @@ func (c *WorkerClock) Reset() {
 	c.failedSteals.Store(0)
 	c.sleeps.Store(0)
 	c.abandons.Store(0)
+	c.checks.Store(0)
+	c.suspends.Store(0)
 }
