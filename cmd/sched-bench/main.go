@@ -1,0 +1,154 @@
+// Command sched-bench measures the scheduler hot-path
+// micro-benchmarks (spawn→sync, same-level future create→get,
+// external submit→wait) and records ns/op, B/op, and allocs/op as an
+// entry in a JSON trajectory file (BENCH_sched.json at the repo
+// root). Each PR touching the hot paths appends an entry, so the
+// constant-factor history of the scheduler is version-controlled
+// alongside the code:
+//
+//	go run ./cmd/sched-bench -label "my change" -o BENCH_sched.json
+//
+// Without -o it prints the entry to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"icilk"
+)
+
+// Entry is one measurement of the three hot-path benchmarks.
+type Entry struct {
+	Label     string           `json:"label"`
+	Date      string           `json:"date"`
+	GoVersion string           `json:"go,omitempty"`
+	Benchtime string           `json:"benchtime"`
+	Results   map[string]Bench `json:"results"`
+}
+
+// Bench is one benchmark's stats.
+type Bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the committed trajectory: newest entry last.
+type File struct {
+	Comment string  `json:"_comment"`
+	Entries []Entry `json:"entries"`
+}
+
+const fileComment = "Scheduler hot-path benchmark trajectory; append entries with: go run ./cmd/sched-bench -label <change> -o BENCH_sched.json"
+
+func run(b *testing.B, body func(rt *icilk.Runtime, b *testing.B)) {
+	rt, err := icilk.New(icilk.Config{Workers: 2, Levels: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	body(rt, b)
+}
+
+// The three bodies mirror BenchmarkSpawnSync / BenchmarkFutureCreateGet
+// / BenchmarkSubmitWait in bench_test.go (kept in sync by hand; the
+// bench harness cannot import a _test package).
+var benches = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"SpawnSync", func(b *testing.B) {
+		run(b, func(rt *icilk.Runtime, b *testing.B) {
+			rt.Run(func(t *icilk.Task) any {
+				for i := 0; i < b.N; i++ {
+					t.Spawn(func(*icilk.Task) {})
+					t.Sync()
+				}
+				return nil
+			})
+		})
+	}},
+	{"FutureCreateGet", func(b *testing.B) {
+		run(b, func(rt *icilk.Runtime, b *testing.B) {
+			rt.Run(func(t *icilk.Task) any {
+				for i := 0; i < b.N; i++ {
+					f := t.FutCreate(0, func(*icilk.Task) any { return i })
+					f.Get(t)
+				}
+				return nil
+			})
+		})
+	}},
+	{"SubmitWait", func(b *testing.B) {
+		run(b, func(rt *icilk.Runtime, b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt.Submit(0, func(*icilk.Task) any { return nil }).Wait()
+			}
+		})
+	}},
+}
+
+func main() {
+	testing.Init() // registers -test.benchtime, which testing.Benchmark honors
+	label := flag.String("label", "", "entry label (e.g. the change being measured); required")
+	out := flag.String("o", "", "JSON file to append the entry to (created if missing); stdout if empty")
+	benchtime := flag.Duration("benchtime", 2*time.Second, "per-benchmark measurement time")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "sched-bench: -label is required (what is being measured?)")
+		os.Exit(2)
+	}
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		panic(err)
+	}
+
+	entry := Entry{
+		Label:     *label,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Benchtime: benchtime.String(),
+		Results:   make(map[string]Bench),
+	}
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		entry.Results[bm.name] = Bench{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %10.0f ns/op %6d B/op %4d allocs/op (n=%d)\n",
+			bm.name, entry.Results[bm.name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
+	}
+
+	var f File
+	if *out != "" {
+		if data, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(data, &f); err != nil {
+				fmt.Fprintf(os.Stderr, "sched-bench: %s exists but is not valid JSON: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	f.Comment = fileComment
+	f.Entries = append(f.Entries, entry)
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sched-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "appended %q to %s\n", *label, *out)
+}

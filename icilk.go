@@ -89,6 +89,14 @@ type Config struct {
 	// IOQueueCapacity bounds the I/O completion queue (submitters
 	// block beyond it). Default 4096, the paper-era hard-coded value.
 	IOQueueCapacity int
+	// DisableRecycling turns off the scheduler's task-context and
+	// deque recycling, so every spawn/submit allocates fresh — the
+	// debugging escape hatch (one goroutine per task for its whole
+	// life). ICILK_NORECYCLE=1 in the environment has the same effect.
+	DisableRecycling bool
+	// RecycleCap bounds how many finished task contexts stay parked
+	// for reuse (idle-memory bound). Default 256.
+	RecycleCap int
 }
 
 // Runtime is a running scheduler instance plus its I/O subsystem.
@@ -107,6 +115,8 @@ func New(cfg Config) (*Runtime, error) {
 		Adaptive:            cfg.Adaptive,
 		DisableMuggingQueue: cfg.DisableMuggingQueue,
 		TraceCapacity:       cfg.TraceCapacity,
+		DisableRecycling:    cfg.DisableRecycling,
+		RecycleCap:          cfg.RecycleCap,
 	})
 	if err != nil {
 		return nil, err

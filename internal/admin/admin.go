@@ -8,6 +8,9 @@
 //	                 depths, per-worker state and waste clocks)
 //	GET /debug/trace JSON snapshot of the recent scheduler event ring
 //	                 (?n=K limits to the most recent K events)
+//	GET /debug/pprof/ Go runtime profiles (net/http/pprof): heap and
+//	                 allocs for the hot-path allocation budget, profile
+//	                 (CPU), goroutine, block, mutex, trace, …
 //
 // The server's data sources are swappable at runtime (SetSources), so
 // one admin server can follow a sequence of short-lived runtimes — the
@@ -19,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -60,6 +64,17 @@ func New() *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/sched", s.handleSched)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	// Go runtime profiling: /debug/pprof/ routes named profiles
+	// (heap, allocs, goroutine, block, mutex, …) itself; the four
+	// below are special-cased by net/http/pprof and need their own
+	// routes. Explicit methods throughout — a method-less pattern
+	// would conflict with "GET /" above; symbol also takes POST.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -120,7 +135,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, "icilk admin endpoints:\n"+
 		"  /metrics      Prometheus text exposition\n"+
 		"  /debug/sched  scheduler snapshot (JSON)\n"+
-		"  /debug/trace  recent scheduler events (JSON, ?n=K)\n")
+		"  /debug/trace  recent scheduler events (JSON, ?n=K)\n"+
+		"  /debug/pprof/ Go runtime profiles (heap, profile, goroutine, ...)\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -123,6 +123,28 @@ func TestTraceDisabled(t *testing.T) {
 	}
 }
 
+func TestPprofEndpoint(t *testing.T) {
+	s := New()
+	// pprof works with no sources attached — it reads the Go runtime.
+	res, body := get(t, s.Handler(), "/debug/pprof/")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", res.StatusCode)
+	}
+	for _, profile := range []string{"heap", "allocs", "goroutine"} {
+		if !strings.Contains(body, profile) {
+			t.Errorf("pprof index missing %q profile:\n%s", profile, body)
+		}
+	}
+	res, _ = get(t, s.Handler(), "/debug/pprof/goroutine?debug=1")
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/goroutine = %d, want 200", res.StatusCode)
+	}
+	res, _ = get(t, s.Handler(), "/debug/pprof/cmdline")
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/cmdline = %d, want 200", res.StatusCode)
+	}
+}
+
 func TestSetSourcesSwaps(t *testing.T) {
 	a := metrics.NewRegistry()
 	a.Counter("icilk_run_a_total", "")

@@ -29,6 +29,7 @@ package deque
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // State enumerates the deque lifecycle states.
@@ -67,10 +68,14 @@ func (s State) String() string {
 // the package free of cross-package generic instantiation cycles).
 // All methods are safe for concurrent use.
 type Deque struct {
-	mu         sync.Mutex
-	items      []any // index 0 = top (oldest, steal end); end = bottom
-	state      State
-	level      int
+	mu    sync.Mutex
+	items []any // index 0 = top (oldest, steal end); end = bottom
+	state State
+	// level is atomic (not mu-guarded) because hot paths read it
+	// lock-free and Reset re-levels recycled deques; a stale read can
+	// only mis-target advisory signals (bitfield set, trace), which
+	// the double-check protocol already tolerates.
+	level      atomic.Int32
 	blocked    any // valid iff hasBlocked
 	hasBlocked bool
 	// immediately distinguishes an abandoned (immediately resumable)
@@ -95,11 +100,14 @@ type Deque struct {
 // onLive, if non-nil, receives +1/-1 whenever the deque transitions
 // between empty and non-empty (items or a resumable bottom present).
 func New(level int, onLive func(level, delta int)) *Deque {
-	return &Deque{state: Active, level: level, onLive: onLive}
+	d := &Deque{state: Active, onLive: onLive}
+	d.level.Store(int32(level))
+	return d
 }
 
-// Level returns the deque's fixed priority level.
-func (d *Deque) Level() int { return d.level }
+// Level returns the deque's priority level (fixed for the deque's
+// lifetime; re-leveled only by Reset when recycled).
+func (d *Deque) Level() int { return int(d.level.Load()) }
 
 // updateLive recomputes liveness; callers hold mu.
 func (d *Deque) updateLive() {
@@ -111,7 +119,7 @@ func (d *Deque) updateLive() {
 			if nowLive {
 				delta = 1
 			}
-			d.onLive(d.level, delta)
+			d.onLive(int(d.level.Load()), delta)
 		}
 	}
 }
@@ -385,4 +393,35 @@ func (d *Deque) InPool() (regular, mugging bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.inRegular, d.inMugging
+}
+
+// CanRecycle reports whether the deque is safely reusable: Dead and
+// absent from both pool queues. Under the centralized-pool protocol
+// every live external reference is covered by a presence flag (a deque
+// handed out by a queue pop has its flag cleared only inside
+// TakeForThief, atomically with the thief's claim), so Dead + both
+// flags clear means no other goroutine can reach this deque again.
+func (d *Deque) CanRecycle() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state == Dead && !d.inRegular && !d.inMugging
+}
+
+// Reset re-initializes a recycled deque as an empty Active deque at
+// the given level, retaining the item slice's capacity so steady-state
+// pushes stay allocation-free. The caller must own the deque
+// exclusively (CanRecycle returned true and the deque was taken off
+// the runtime's free pool).
+func (d *Deque) Reset(level int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Dead {
+		panic("deque: Reset on " + d.state.String() + " deque")
+	}
+	d.state = Active
+	d.level.Store(int32(level))
+	d.items = d.items[:0]
+	d.blocked = nil
+	d.hasBlocked = false
+	d.immediately = false
 }

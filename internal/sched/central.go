@@ -88,8 +88,11 @@ func (p *centralPool) pop(w *worker, level int) (*node, *dq, bool) {
 		case deque.PopDiscard:
 			// Empty or dead deque that lingered in the queue: drop it
 			// and keep looking (multiple queue accesses per steal are
-			// the accepted price of the simple queue design).
+			// the accepted price of the simple queue design). If the
+			// drop cleared the deque's last queue reference, recycle
+			// it.
 			p.rt.trace.Add(trace.Drop, w.id, level)
+			p.rt.freeDeque(d)
 			continue
 		case deque.PopMug:
 			if pushBack {

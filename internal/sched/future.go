@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"icilk/internal/trace"
 )
@@ -20,12 +22,18 @@ import (
 type Future struct {
 	rt *Runtime
 
+	// done flips exactly once, after val is written; completed-future
+	// Get/TryGet/Done read it lock-free (the atomic store/load pair
+	// orders the val write before any observer's val read).
+	done atomic.Bool
+
 	mu      sync.Mutex
-	done    bool
 	val     any
 	waiters []*dq // deques suspended on this future
 
-	// ch is closed at completion for external waiters.
+	// ch is closed at completion for external waiters. It is created
+	// lazily by the first Wait/WaitChan that needs it, so futures only
+	// ever observed by tasks (the common case) never allocate it.
 	ch chan struct{}
 
 	// result stages the future routine's return value between the
@@ -40,7 +48,7 @@ type Future struct {
 }
 
 func newFuture(rt *Runtime) *Future {
-	return &Future{rt: rt, ch: make(chan struct{}), ownerLevel: -1}
+	return &Future{rt: rt, ownerLevel: -1}
 }
 
 // NewIOFuture creates a future that will be completed externally via
@@ -57,15 +65,17 @@ func (f *Future) Complete(v any) { f.complete(v) }
 // resumable, re-enqueuing it into its level's pool.
 func (f *Future) complete(v any) {
 	f.mu.Lock()
-	if f.done {
+	if f.done.Load() {
 		f.mu.Unlock()
 		panic("sched: future completed twice")
 	}
-	f.done = true
 	f.val = v
+	f.done.Store(true)
 	ws := f.waiters
 	f.waiters = nil
-	close(f.ch)
+	if f.ch != nil {
+		close(f.ch)
+	}
 	f.mu.Unlock()
 
 	for _, d := range ws {
@@ -78,16 +88,15 @@ func (f *Future) complete(v any) {
 
 // TryGet returns the value if the future is already complete.
 func (f *Future) TryGet() (any, bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.val, f.done
+	if f.done.Load() {
+		return f.val, true
+	}
+	return nil, false
 }
 
 // Done reports whether the future has completed.
 func (f *Future) Done() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.done
+	return f.done.Load()
 }
 
 // Get returns the future's value, suspending the calling task's whole
@@ -97,8 +106,13 @@ func (f *Future) Done() bool {
 func (f *Future) Get(t *Task) any {
 	t.maybeSwitch()
 	t.rt.checkGetInversion(t, f)
+	if f.done.Load() {
+		// Completed-future fast path: done was stored after val, so
+		// the value read here is ordered; no lock, no suspension.
+		return f.val
+	}
 	f.mu.Lock()
-	if f.done {
+	if f.done.Load() {
 		v := f.val
 		f.mu.Unlock()
 		return v
@@ -117,24 +131,32 @@ func (f *Future) Get(t *Task) any {
 	t.parkAfter(yieldMsg{kind: yGetWait})
 
 	// Resumed: the future must be complete.
-	f.mu.Lock()
-	v := f.val
-	f.mu.Unlock()
-	return v
+	return f.val
 }
 
 // Wait blocks the calling (non-task) goroutine until completion and
 // returns the value. Load generators and tests use this.
 func (f *Future) Wait() any {
-	<-f.ch
-	f.mu.Lock()
-	v := f.val
-	f.mu.Unlock()
-	return v
+	if f.done.Load() {
+		return f.val
+	}
+	<-f.WaitChan()
+	return f.val
 }
 
 // WaitChan returns a channel closed at completion, for select loops.
-func (f *Future) WaitChan() <-chan struct{} { return f.ch }
+func (f *Future) WaitChan() <-chan struct{} {
+	f.mu.Lock()
+	if f.ch == nil {
+		f.ch = make(chan struct{})
+		if f.done.Load() {
+			close(f.ch)
+		}
+	}
+	ch := f.ch
+	f.mu.Unlock()
+	return ch
+}
 
 // submitNode wraps a fresh node in a resumable deque at the given
 // level and hands it to the policy's pool — the "toss" of footnote 3
@@ -152,16 +174,15 @@ func (rt *Runtime) submitNode(n *node, level int) {
 // Safe to call from any goroutine.
 func (rt *Runtime) SubmitFuture(level int, fn func(*Task) any) *Future {
 	if level < 0 || level >= rt.cfg.Levels {
-		panic("sched: SubmitFuture level out of range")
+		panic(fmt.Sprintf("sched: SubmitFuture level %d out of range [0,%d)", level, rt.cfg.Levels))
 	}
 	f := newFuture(rt)
 	f.ownerLevel = level
 	rt.inflight.Add(1)
-	n := rt.newNode(level, nil, func(t *Task) {
-		t.fut = f
-		f.result = fn(t)
-		rt.inflight.Add(-1)
-	})
+	n := rt.newNode(level, nil, nil)
+	n.t.fut = f
+	n.t.futFn = fn
+	n.t.inflightRoot = true
 	rt.submitNode(n, level)
 	return f
 }

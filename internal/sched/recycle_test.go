@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// taskDriver parks a long-lived task on a command channel so tests can
+// run scheduler operations on a task goroutine in lockstep with the
+// test goroutine (each command executes body once, then acknowledges).
+type taskDriver struct {
+	cmd  chan func(*Task)
+	done chan struct{}
+	fut  *Future
+}
+
+func startDriver(rt *Runtime) *taskDriver {
+	d := &taskDriver{cmd: make(chan func(*Task)), done: make(chan struct{})}
+	d.fut = rt.SubmitFuture(0, func(task *Task) any {
+		for body := range d.cmd {
+			body(task)
+			d.done <- struct{}{}
+		}
+		return nil
+	})
+	return d
+}
+
+func (d *taskDriver) do(body func(*Task)) {
+	d.cmd <- body
+	<-d.done
+}
+
+func (d *taskDriver) stop() {
+	close(d.cmd)
+	d.fut.Wait()
+}
+
+// TestSpawnSyncAllocFree pins the steady-state allocation budget of
+// the spawn→sync hot path: with context recycling on, a spawn-sync
+// pair reuses a parked goroutine, its resume channel, its Task, and
+// (when the parent parks) a recycled deque — at most 2 allocs/op are
+// tolerated for stray pool-queue traffic, and in practice it is 0.
+func TestSpawnSyncAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	rt := newTestRuntime(t, Config{Workers: 2, Levels: 1, Policy: Prompt})
+	d := startDriver(rt)
+	defer d.stop()
+
+	const pairs = 100
+	// Warm the free lists before measuring.
+	d.do(func(task *Task) {
+		for i := 0; i < pairs; i++ {
+			task.Spawn(func(*Task) {})
+			task.Sync()
+		}
+	})
+	avg := testing.AllocsPerRun(20, func() {
+		d.do(func(task *Task) {
+			for i := 0; i < pairs; i++ {
+				task.Spawn(func(*Task) {})
+				task.Sync()
+			}
+		})
+	})
+	if perOp := avg / pairs; perOp > 2 {
+		t.Errorf("spawn-sync pair allocates %.2f objects/op, want <= 2", perOp)
+	}
+}
+
+// TestCompletedFutureGetAllocFree pins the completed-future fast path:
+// Get/TryGet/Done on a done future must not allocate (and must not
+// touch the mutex-protected slow path's state).
+func TestCompletedFutureGetAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under -race")
+	}
+	rt := newTestRuntime(t, Config{Workers: 2, Levels: 1, Policy: Prompt})
+	d := startDriver(rt)
+	defer d.stop()
+
+	var f *Future
+	d.do(func(task *Task) {
+		f = task.FutCreate(0, func(*Task) any { return 42 })
+		if got := f.Get(task); got.(int) != 42 {
+			t.Errorf("Get = %v, want 42", got)
+		}
+	})
+
+	const gets = 100
+	avg := testing.AllocsPerRun(20, func() {
+		d.do(func(task *Task) {
+			for i := 0; i < gets; i++ {
+				if f.Get(task).(int) != 42 {
+					t.Error("bad Get")
+				}
+				if v, ok := f.TryGet(); !ok || v.(int) != 42 {
+					t.Error("bad TryGet")
+				}
+				if !f.Done() {
+					t.Error("bad Done")
+				}
+			}
+		})
+	})
+	if perOp := avg / gets; perOp > 0.05 {
+		t.Errorf("completed-future Get allocates %.3f objects/op, want 0", perOp)
+	}
+}
+
+// TestRecycleStressConcurrentSubmitters hammers the context free list
+// from many external submitters at once (the free list's only
+// multi-producer/multi-consumer entry point besides worker-held
+// tasks); run with -race in CI. Every future must complete with the
+// right value and the runtime must drain.
+func TestRecycleStressConcurrentSubmitters(t *testing.T) {
+	for _, pk := range allPolicies {
+		pk := pk
+		t.Run(pk.String(), func(t *testing.T) {
+			rt := newTestRuntime(t, Config{Workers: 4, Levels: 2, Policy: pk, RecycleCap: 8})
+			const submitters = 8
+			const perSubmitter = 60
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				s := s
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perSubmitter; i++ {
+						want := s*perSubmitter + i
+						f := rt.SubmitFuture(want%2, func(task *Task) any {
+							sum := 0
+							for c := 0; c < 3; c++ {
+								c := c
+								task.Spawn(func(ct *Task) {
+									g := ct.FutCreate(ct.Level(), func(*Task) any { return c })
+									sum += g.Get(ct).(int)
+								})
+								task.Sync()
+							}
+							return want + sum
+						})
+						if got := f.Wait().(int); got != want+3 {
+							t.Errorf("future = %d, want %d", got, want+3)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := rt.Inflight(); got != 0 {
+				t.Fatalf("inflight = %d after drain", got)
+			}
+		})
+	}
+}
+
+// TestDisableRecycling checks the escape hatch: with recycling off the
+// runtime keeps no free list and still schedules correctly.
+func TestDisableRecycling(t *testing.T) {
+	rt := newTestRuntime(t, Config{Workers: 2, Levels: 1, Policy: Prompt, DisableRecycling: true})
+	if rt.free != nil {
+		t.Fatal("DisableRecycling left a context free list")
+	}
+	if rt.recycleDeques {
+		t.Fatal("DisableRecycling left deque recycling on")
+	}
+	if got := rt.Run(func(task *Task) any { return fib(task, 12) }).(int); got != 144 {
+		t.Fatalf("fib(12) = %d, want 144", got)
+	}
+}
+
+// TestCloseDrainsFreeList checks that Close poisons the parked
+// recycled contexts so a drained runtime leaves no goroutines behind.
+func TestCloseDrainsFreeList(t *testing.T) {
+	before := runtime.NumGoroutine()
+	rt, err := New(Config{Workers: 2, Levels: 1, Policy: Prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(func(task *Task) any { return fib(task, 12) })
+	rt.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.Gosched()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before runtime, %d after Close", before, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -43,6 +43,7 @@ package sched
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,6 +130,17 @@ type Config struct {
 	// TraceCapacity, if positive, enables the scheduler event trace
 	// with a ring of that many events.
 	TraceCapacity int
+	// DisableRecycling turns off task-context and deque recycling, so
+	// every spawn/fut-create/submit allocates fresh (the pre-recycling
+	// behavior — useful when debugging, since goroutine dumps then map
+	// one goroutine to one task for its whole life). The environment
+	// variable ICILK_NORECYCLE=1 forces this on without a code change.
+	DisableRecycling bool
+	// RecycleCap bounds the task-context free list: at most this many
+	// finished contexts (goroutine + channels + Task) stay parked
+	// awaiting reuse; the rest exit and are collected, so idle memory
+	// is bounded. Default 256.
+	RecycleCap int
 }
 
 func (c *Config) applyDefaults() error {
@@ -153,7 +165,21 @@ func (c *Config) applyDefaults() error {
 	if c.StealTries <= 0 {
 		c.StealTries = 4
 	}
+	if v := os.Getenv("ICILK_NORECYCLE"); v != "" && v != "0" {
+		c.DisableRecycling = true
+	}
+	if c.RecycleCap <= 0 {
+		c.RecycleCap = 256
+	}
 	return nil
+}
+
+// paddedInt64 is an atomic counter alone on its cache line, so
+// per-level arrays of hot counters (nonEmpty, levelWork) do not
+// false-share between workers updating adjacent levels.
+type paddedInt64 struct {
+	atomic.Int64
+	_ [56]byte
 }
 
 // Runtime is a running scheduler instance.
@@ -169,14 +195,28 @@ type Runtime struct {
 
 	// nonEmpty[l] counts deques at level l that currently hold work
 	// (frames or a resumable bottom) — the quantity of Figure 2.
-	nonEmpty []atomic.Int64
+	// Cache-line padded: every push/pop/steal on a level touches it.
+	nonEmpty []paddedInt64
 	// levelWork[l] accumulates nanoseconds of execution at level l in
 	// the current allocator quantum (Adaptive utilization input).
-	levelWork []atomic.Int64
+	// Cache-line padded: every context switch adds to it.
+	levelWork []paddedInt64
 
 	// parts recycles epoch participants for non-worker goroutines
 	// (I/O threads, external submitters).
 	parts sync.Pool
+
+	// free is the task-context recycling list: finished task contexts
+	// (goroutine parked on its resume channel) awaiting their next
+	// task function. Bounded at Config.RecycleCap; nil when recycling
+	// is disabled. See newNode/Task.finish.
+	free chan *node
+
+	// deques recycles dead execution-context deques (see freeDeque for
+	// the safety argument); recycleDeques gates it to the
+	// centralized-pool policies.
+	deques        sync.Pool
+	recycleDeques bool
 
 	// inflight counts submitted-but-unfinished root futures, letting
 	// harnesses drain before Close.
@@ -203,10 +243,13 @@ func New(cfg Config) (*Runtime, error) {
 		cfg:       cfg,
 		bits:      prio.New(),
 		col:       epoch.NewCollector(),
-		nonEmpty:  make([]atomic.Int64, cfg.Levels),
-		levelWork: make([]atomic.Int64, cfg.Levels),
+		nonEmpty:  make([]paddedInt64, cfg.Levels),
+		levelWork: make([]paddedInt64, cfg.Levels),
 	}
 	rt.parts.New = func() any { return rt.col.Register() }
+	if !cfg.DisableRecycling {
+		rt.free = make(chan *node, cfg.RecycleCap)
+	}
 	if cfg.TraceCapacity > 0 {
 		rt.trace = trace.New(cfg.TraceCapacity)
 	}
@@ -221,6 +264,12 @@ func New(cfg Config) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("sched: unknown policy %v", cfg.Policy)
 	}
+	// Deque recycling is sound only under the centralized-pool
+	// policies, whose queue-presence flags account for every external
+	// reference; the Adaptive variants' randomized pools hand out
+	// unflagged snapshots that could alias a recycled deque (ABA).
+	rt.recycleDeques = !cfg.DisableRecycling &&
+		(cfg.Policy == Prompt || cfg.Policy == AdaptiveGreedy)
 
 	rt.workers = make([]*worker, cfg.Workers)
 	baseRNG := xrand.New(0x1c11c)
@@ -295,7 +344,7 @@ func (rt *Runtime) Trace() *trace.Log { return rt.trace }
 
 // Close stops the runtime. It does not wait for outstanding tasks:
 // callers should drain (Inflight()==0) first; parked tasks of an
-// undraned runtime keep their goroutines until process exit.
+// undrained runtime keep their goroutines until process exit.
 func (rt *Runtime) Close() {
 	if rt.stopped.Swap(true) {
 		return
@@ -303,6 +352,20 @@ func (rt *Runtime) Close() {
 	rt.bits.Stop()
 	rt.pol.stop()
 	rt.wg.Wait()
+	if rt.free != nil {
+		// Poison the recycled contexts so their parked goroutines exit
+		// (a nil worker token is the shutdown signal; the capacity-1
+		// resume channel takes it even if the context is still between
+		// its free-list park and its resume receive).
+		for {
+			select {
+			case n := <-rt.free:
+				n.resume <- nil
+			default:
+				return
+			}
+		}
+	}
 }
 
 // handle borrows an epoch participant for a non-worker goroutine.
@@ -312,10 +375,31 @@ func (rt *Runtime) handle() *epoch.Participant {
 
 func (rt *Runtime) release(p *epoch.Participant) { rt.parts.Put(p) }
 
-// newDeque creates an Active deque at the given level wired to the
-// runtime's non-empty counters.
+// newDeque returns an Active deque at the given level wired to the
+// runtime's non-empty counters — recycled from the dead-deque pool
+// when possible (retaining its item slice's capacity), freshly
+// allocated otherwise.
 func (rt *Runtime) newDeque(level int) *dq {
+	if rt.recycleDeques {
+		if v := rt.deques.Get(); v != nil {
+			d := v.(*dq)
+			d.Reset(level)
+			return d
+		}
+	}
 	return deque.New(level, rt.onLive)
+}
+
+// freeDeque offers a dead deque for reuse. Only deques that are Dead
+// and absent from both pool queues are taken: under the centralized
+// pools those two facts mean no queue, worker, or waiter list can
+// still reach the deque, so resetting it cannot alias a stale
+// reference. Deques that fail the check are left for the GC (their
+// lingering queue entries are dropped lazily as usual).
+func (rt *Runtime) freeDeque(d *dq) {
+	if rt.recycleDeques && d.CanRecycle() {
+		rt.deques.Put(d)
+	}
 }
 
 func (rt *Runtime) onLive(level, delta int) {
@@ -382,11 +466,18 @@ func (w *worker) run() {
 // execute resumes node n and follows the chain of yields until this
 // worker has nothing runnable in hand.
 func (w *worker) execute(n *node) {
+	// One timestamp per context switch: the post-yield reading is
+	// carried forward as the next resume's start, charging the
+	// worker's few nanoseconds of inter-yield bookkeeping to work
+	// (indistinguishable at this resolution) and halving time.Now
+	// calls on the hot path.
+	start := time.Now()
 	for n != nil {
-		start := time.Now()
 		n.resume <- w
 		msg := <-w.yield
-		elapsed := time.Since(start)
+		now := time.Now()
+		elapsed := now.Sub(start)
+		start = now
 		w.clock.AddWork(elapsed)
 		w.rt.levelWork[w.level.Load()].Add(int64(elapsed))
 
@@ -409,6 +500,7 @@ func (w *worker) execute(n *node) {
 			// pool queue; lazy removal discards it there.
 			d.MarkDeadIfDone()
 			w.rt.pol.onDequeDead(w, d)
+			w.rt.freeDeque(d)
 			w.active = nil
 			if msg.ready != nil {
 				// This completion released the parent's sync; adopt
@@ -431,6 +523,7 @@ func (w *worker) execute(n *node) {
 				panic("sched: failed sync with non-empty deque")
 			}
 			w.rt.pol.onDequeDead(w, d)
+			w.rt.freeDeque(d)
 			w.active = nil
 			n = nil
 

@@ -3,7 +3,7 @@ package sched
 import (
 	"fmt"
 	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"icilk/internal/trace"
 )
@@ -13,15 +13,25 @@ import (
 // running on a worker (holding the token), parked as a frame in a
 // deque's item stack (a spawn/fut-create continuation), parked as a
 // deque's blocked/ready bottom, parked at a failed sync awaiting its
-// last child, or in flight between a pool pop and its first resume.
+// last child, in flight between a pool pop and its first resume, or —
+// with context recycling on — parked on the runtime's free list
+// awaiting its next task function.
 type node struct {
 	// resume carries the worker token. Capacity 1: a resumer may post
 	// the token before the task goroutine has finished parking (the
 	// park protocol is "post yield, then receive resume", and a thief
-	// can legally mug the deque in between).
+	// can legally mug the deque in between). A nil token is the
+	// shutdown poison for free-listed contexts (see Runtime.Close).
 	resume chan *worker
 	t      *Task
 }
+
+// syncBit is the sentinel OR-ed into Task.joins while the task is
+// parked at a failed sync. joins therefore encodes both the
+// outstanding-children count (low bits) and the at-sync flag in a
+// single word, so the join protocol is one atomic Add on the child
+// side and one CAS on the parent side — no mutex.
+const syncBit = int64(1) << 32
 
 // Task is the per-task context passed to every task function. All its
 // methods must be called from the task's own goroutine.
@@ -32,26 +42,71 @@ type Task struct {
 	level  int
 	parent *Task
 
-	// mu guards pending/atSync against concurrent child completions.
-	mu      sync.Mutex
-	pending int  // outstanding spawned children
-	atSync  bool // parked at a failed sync
+	// joins counts outstanding spawned children, with syncBit set
+	// while the task is parked at a failed sync (the classic join
+	// counter with a sentinel encoding).
+	joins atomic.Int64
 
-	fut *Future // non-nil if this task computes a future
+	// fn is the task body for spawned tasks; futFn (with fut) for
+	// future routines. Exactly one is non-nil while the task runs;
+	// both are cleared at finish so a free-listed context pins no user
+	// objects.
+	fn    func(*Task)
+	futFn func(*Task) any
+	fut   *Future // non-nil if this task computes a future
+
+	// inflightRoot marks externally submitted root futures whose
+	// completion decrements Runtime.inflight.
+	inflightRoot bool
 }
 
-// newNode creates a gated task goroutine. The goroutine parks
-// immediately, waiting for its first worker token.
+// newNode returns a gated task context running fn: a recycled one off
+// the runtime's free list when available, otherwise a fresh goroutine
+// parked on its first worker token. Callers may further configure the
+// returned context (futFn/fut/inflightRoot) before publishing it to
+// the scheduler; the field writes happen-before the task body via the
+// resume-channel send.
 func (rt *Runtime) newNode(level int, parent *Task, fn func(*Task)) *node {
+	if rt.free != nil {
+		select {
+		case n := <-rt.free:
+			t := n.t
+			t.level = level
+			t.parent = parent
+			t.fn = fn
+			return n
+		default:
+		}
+	}
 	n := &node{resume: make(chan *worker, 1)}
-	t := &Task{rt: rt, n: n, level: level, parent: parent}
+	t := &Task{rt: rt, n: n, level: level, parent: parent, fn: fn}
 	n.t = t
-	go func() {
-		t.w = <-n.resume
-		fn(t)
-		t.finish()
-	}()
+	go t.loop()
 	return n
+}
+
+// loop is the task goroutine's life: receive a worker token, run the
+// task body, finish — and, when the finished context was parked on
+// the recycling free list, loop back for the next task function
+// instead of exiting. A nil token (posted by Runtime.Close while
+// draining the free list) terminates the goroutine.
+func (t *Task) loop() {
+	n := t.n
+	for {
+		w := <-n.resume
+		if w == nil {
+			return
+		}
+		t.w = w
+		if t.futFn != nil {
+			t.fut.result = t.futFn(t)
+		} else {
+			t.fn(t)
+		}
+		if !t.finish() {
+			return
+		}
+	}
 }
 
 // Level returns the task's priority level (0 = highest).
@@ -69,31 +124,56 @@ func (t *Task) parkAfter(m yieldMsg) {
 
 // finish runs on the task goroutine after the task function returns:
 // complete the future (waking waiter deques), perform join
-// bookkeeping, and hand the worker its next directive.
-func (t *Task) finish() {
-	t.mu.Lock()
-	if t.pending != 0 {
-		t.mu.Unlock()
+// bookkeeping, recycle the context, and hand the worker its next
+// directive. It reports whether the context was parked on the free
+// list (so loop keeps the goroutine alive).
+func (t *Task) finish() bool {
+	if t.joins.Load() != 0 {
 		panic("sched: task returned with outstanding spawned children (missing Sync)")
 	}
-	t.mu.Unlock()
 
+	rt := t.rt
+	if t.inflightRoot {
+		// Decrement before completion so that anyone woken by the
+		// future (Wait returning) observes the drained count.
+		rt.inflight.Add(-1)
+	}
 	if t.fut != nil {
 		t.fut.complete(t.fut.result)
 	}
 
 	var ready *node
 	if p := t.parent; p != nil {
-		p.mu.Lock()
-		p.pending--
-		if p.pending == 0 && p.atSync {
-			p.atSync = false
+		if p.joins.Add(-1) == syncBit {
+			// Count hit zero with the parent parked at sync: this
+			// completion releases it. The parent cannot run until we
+			// hand ready to the worker, so the flag reset is race-free.
+			p.joins.Store(0)
 			ready = p.n
 		}
-		p.mu.Unlock()
 	}
-	t.w.yield <- yieldMsg{kind: yDone, ready: ready}
-	// Task goroutine ends here.
+
+	// Drop every reference the parked context would otherwise pin,
+	// then park it on the free list *before* yielding: a spawner on
+	// another worker may pop and re-arm it immediately — the capacity-1
+	// resume channel buffers the new token until loop comes around.
+	w := t.w
+	t.w = nil
+	t.parent = nil
+	t.fn = nil
+	t.futFn = nil
+	t.fut = nil
+	t.inflightRoot = false
+	recycled := false
+	if rt.free != nil {
+		select {
+		case rt.free <- t.n:
+			recycled = true
+		default:
+		}
+	}
+	w.yield <- yieldMsg{kind: yDone, ready: ready}
+	return recycled
 }
 
 // maybeSwitch is the frequent priority check performed at every
@@ -128,9 +208,7 @@ func (t *Task) maybeSwitch() {
 func (t *Task) Spawn(fn func(*Task)) {
 	t.maybeSwitch()
 	child := t.rt.newNode(t.level, t, fn)
-	t.mu.Lock()
-	t.pending++
-	t.mu.Unlock()
+	t.joins.Add(1)
 	d := t.w.active
 	needsEnqueue := d.PushBottom(t.n)
 	t.rt.pol.onOwnerPush(t.w, d, needsEnqueue)
@@ -141,13 +219,15 @@ func (t *Task) Spawn(fn func(*Task)) {
 // Futures created with FutCreate are not joined by Sync; use Get.
 func (t *Task) Sync() {
 	t.maybeSwitch()
-	t.mu.Lock()
-	if t.pending == 0 {
-		t.mu.Unlock()
-		return
+	for {
+		v := t.joins.Load()
+		if v == 0 {
+			return
+		}
+		if t.joins.CompareAndSwap(v, v|syncBit) {
+			break
+		}
 	}
-	t.atSync = true
-	t.mu.Unlock()
 	t.parkAfter(yieldMsg{kind: ySyncWait})
 }
 
@@ -164,10 +244,9 @@ func (t *Task) FutCreate(level int, fn func(*Task) any) *Future {
 	}
 	f := newFuture(t.rt)
 	f.ownerLevel = level
-	child := t.rt.newNode(level, nil, func(ct *Task) {
-		ct.fut = f
-		f.result = fn(ct)
-	})
+	child := t.rt.newNode(level, nil, nil)
+	child.t.fut = f
+	child.t.futFn = fn
 	if level == t.level {
 		d := t.w.active
 		needsEnqueue := d.PushBottom(t.n)

@@ -18,7 +18,14 @@ import (
 //
 // All counters are atomic so that a harness can snapshot them while
 // workers run. Times are accumulated in nanoseconds.
+//
+// The counter block is cache-line padded on both sides: a clock is
+// embedded in each worker and written on every context switch, so
+// without the padding the hottest counters false-share with whatever
+// neighboring worker fields (or adjacent clocks) the allocator packs
+// beside them.
 type WorkerClock struct {
+	_        [64]byte
 	work     atomic.Int64
 	overhead atomic.Int64
 	waste    atomic.Int64
@@ -33,6 +40,7 @@ type WorkerClock struct {
 	abandons     atomic.Int64 // deques abandoned for higher priority
 	checks       atomic.Int64 // bitfield/assignment checks at scheduling points
 	suspends     atomic.Int64 // deques suspended at a failed get
+	_            [64]byte
 }
 
 // AddWork adds d to the work category.
