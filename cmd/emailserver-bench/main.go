@@ -28,7 +28,7 @@ func main() {
 	workers := flag.Int("workers", 4, "scheduler workers (paper: 4)")
 	quick := flag.Bool("quick", false, "2-point parameter sweep")
 	seed := flag.Uint64("seed", 0xbeef, "workload seed")
-	admin := flag.String("admin", "", "admin HTTP address (host:port); follows the current run's runtime")
+	admin := flag.String("admin", "", "admin HTTP address (bind loopback, e.g. 127.0.0.1:6060; unauthenticated); follows the current run's runtime")
 	flag.Parse()
 
 	if *admin != "" {

@@ -33,7 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "2-point parameter sweep instead of 4")
 	seed := flag.Uint64("seed", 0xcafe, "workload seed")
 	reps := flag.Int("reps", 1, "repetitions per point (median by p99 reported)")
-	admin := flag.String("admin", "", "admin HTTP address (host:port); follows the current run's runtime")
+	admin := flag.String("admin", "", "admin HTTP address (bind loopback, e.g. 127.0.0.1:6060; unauthenticated); follows the current run's runtime")
 	flag.Parse()
 
 	if *admin != "" {

@@ -30,7 +30,7 @@ func main() {
 	workers := flag.Int("workers", 4, "scheduler workers")
 	schedName := flag.String("scheduler", "prompt", icilk.SchedulerNames())
 	maxBytes := flag.Int64("max-bytes", 64<<20, "cache size bound (0 = unbounded)")
-	admin := flag.String("admin", "", "admin HTTP address (host:port) serving /metrics, /debug/sched, /debug/trace")
+	admin := flag.String("admin", "", "admin HTTP address (bind loopback, e.g. 127.0.0.1:6060; unauthenticated) serving /metrics, /debug/sched, /debug/trace")
 	flag.Parse()
 
 	kind, err := icilk.ParseScheduler(*schedName)

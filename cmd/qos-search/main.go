@@ -26,7 +26,7 @@ func main() {
 	pct := flag.Float64("pct", 95, "QoS percentile")
 	dur := flag.Duration("dur", 1500*time.Millisecond, "window per probe")
 	conns := flag.Int("conns", 64, "client connections")
-	admin := flag.String("admin", "", "admin HTTP address (host:port); follows the current probe's runtime")
+	admin := flag.String("admin", "", "admin HTTP address (bind loopback, e.g. 127.0.0.1:6060; unauthenticated); follows the current probe's runtime")
 	flag.Parse()
 
 	if *admin != "" {

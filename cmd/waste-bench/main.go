@@ -22,7 +22,7 @@ func main() {
 	memcRPS := flag.Float64("memc-rps", 1000, "memcached RPS")
 	emailRPS := flag.Float64("email-rps", 600, "email server RPS")
 	jobRPS := flag.Float64("job-rps", 40, "job server RPS")
-	admin := flag.String("admin", "", "admin HTTP address (host:port); follows the current run's runtime")
+	admin := flag.String("admin", "", "admin HTTP address (bind loopback, e.g. 127.0.0.1:6060; unauthenticated); follows the current run's runtime")
 	flag.Parse()
 
 	if *admin != "" {

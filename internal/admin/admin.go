@@ -15,6 +15,15 @@
 // The server's data sources are swappable at runtime (SetSources), so
 // one admin server can follow a sequence of short-lived runtimes — the
 // benchmark binaries re-point it at each measurement's runtime.
+//
+// # Security
+//
+// Every endpoint is unauthenticated, and the pprof handlers include
+// CPU profiling and execution tracing, which measurably degrade the
+// scheduler they observe — anyone who can reach the port can trigger
+// them. Bind the server to loopback (127.0.0.1:6060) or an internal
+// interface only; to expose it beyond that, wrap Handler() in your
+// own auth middleware instead of calling Start.
 package admin
 
 import (
@@ -86,7 +95,9 @@ func (s *Server) SetSources(src Sources) { s.src.Store(&src) }
 // httptest without binding a socket).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Start binds addr and serves in a background goroutine.
+// Start binds addr and serves in a background goroutine. The
+// endpoints are unauthenticated (see the package Security note): addr
+// should be a loopback or internal-interface address.
 func (s *Server) Start(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

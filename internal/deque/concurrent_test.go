@@ -2,6 +2,7 @@ package deque
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -163,6 +164,55 @@ func TestTakeForThiefConcurrent(t *testing.T) {
 		}
 		if totalSteals != 1 {
 			t.Fatalf("round %d: %d steals, want exactly 1", round, totalSteals)
+		}
+	}
+}
+
+// TestTakeForRecycleSingleClaim reproduces the owner/thief recycle
+// race: a thief's lazy-removal drop (TakeForThief on an empty Active
+// deque, clearing the last presence flag) and the owner's death path
+// (MarkDeadIfDone) both end in a recycle attempt, and exactly one may
+// win — a double claim would Put the same deque into the free pool
+// twice and alias two future active deques.
+func TestTakeForRecycleSingleClaim(t *testing.T) {
+	for round := 0; round < 500; round++ {
+		d := New(0, nil)
+		// Enqueued once: present in the regular queue, as an empty
+		// active deque lingering after its frames were consumed.
+		d.PushBottom("x")
+		if _, ok := d.PopBottom(); !ok {
+			t.Fatal("PopBottom failed")
+		}
+
+		var claims atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // thief: pop the stale queue copy, drop, recycle
+			defer wg.Done()
+			if res, _, _ := d.TakeForThief(false); res != PopDiscard {
+				t.Errorf("round %d: thief got %v, want discard", round, res)
+			}
+			if d.TakeForRecycle() {
+				claims.Add(1)
+			}
+		}()
+		go func() { // owner: finish, mark dead, recycle
+			defer wg.Done()
+			d.MarkDeadIfDone()
+			if d.TakeForRecycle() {
+				claims.Add(1)
+			}
+		}()
+		wg.Wait()
+		if got := claims.Load(); got != 1 {
+			t.Fatalf("round %d: %d recycle claims, want exactly 1", round, got)
+		}
+		if d.State() != Recycled {
+			t.Fatalf("round %d: state %v after claim, want recycled", round, d.State())
+		}
+		d.Reset(0)
+		if d.State() != Active {
+			t.Fatalf("round %d: state %v after Reset, want active", round, d.State())
 		}
 	}
 }

@@ -47,6 +47,10 @@ const (
 	Resumable
 	// Dead: empty and finished; pool pops discard it.
 	Dead
+	// Recycled: terminal sentinel set by TakeForRecycle when a caller
+	// claims a Dead deque for the runtime's free pool. Only Reset (on
+	// the pool's Get path) leaves this state.
+	Recycled
 )
 
 func (s State) String() string {
@@ -59,6 +63,8 @@ func (s State) String() string {
 		return "resumable"
 	case Dead:
 		return "dead"
+	case Recycled:
+		return "recycled"
 	}
 	return fmt.Sprintf("state(%d)", int32(s))
 }
@@ -395,27 +401,39 @@ func (d *Deque) InPool() (regular, mugging bool) {
 	return d.inRegular, d.inMugging
 }
 
-// CanRecycle reports whether the deque is safely reusable: Dead and
-// absent from both pool queues. Under the centralized-pool protocol
-// every live external reference is covered by a presence flag (a deque
-// handed out by a queue pop has its flag cleared only inside
-// TakeForThief, atomically with the thief's claim), so Dead + both
-// flags clear means no other goroutine can reach this deque again.
-func (d *Deque) CanRecycle() bool {
+// TakeForRecycle claims the deque for reuse: when the deque is Dead
+// and absent from both pool queues it atomically transitions to the
+// terminal Recycled state and returns true; otherwise it returns
+// false and leaves the deque untouched. Under the centralized-pool
+// protocol every live external reference is covered by a presence
+// flag (a deque handed out by a queue pop has its flag cleared only
+// inside TakeForThief, atomically with the thief's claim), so Dead +
+// both flags clear means no other goroutine can reach this deque
+// again — except a racing recycler: the owner's death path and a
+// thief's lazy-removal drop can both observe that condition for the
+// same deque. The Dead→Recycled transition is the tie-breaker: it
+// happens under mu, so exactly one caller wins the claim and any
+// later caller sees Recycled and backs off, keeping one deque from
+// entering the free pool twice.
+func (d *Deque) TakeForRecycle() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.state == Dead && !d.inRegular && !d.inMugging
+	if d.state != Dead || d.inRegular || d.inMugging {
+		return false
+	}
+	d.state = Recycled
+	return true
 }
 
 // Reset re-initializes a recycled deque as an empty Active deque at
 // the given level, retaining the item slice's capacity so steady-state
 // pushes stay allocation-free. The caller must own the deque
-// exclusively (CanRecycle returned true and the deque was taken off
-// the runtime's free pool).
+// exclusively (TakeForRecycle returned true and the deque was taken
+// off the runtime's free pool).
 func (d *Deque) Reset(level int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.state != Dead {
+	if d.state != Recycled {
 		panic("deque: Reset on " + d.state.String() + " deque")
 	}
 	d.state = Active

@@ -394,10 +394,16 @@ func (rt *Runtime) newDeque(level int) *dq {
 // and absent from both pool queues are taken: under the centralized
 // pools those two facts mean no queue, worker, or waiter list can
 // still reach the deque, so resetting it cannot alias a stale
-// reference. Deques that fail the check are left for the GC (their
-// lingering queue entries are dropped lazily as usual).
+// reference. Both the owner's death path and a thief's lazy-removal
+// drop call this for the same deque, so the eligibility check is a
+// claim, not a read: TakeForRecycle atomically moves the deque to the
+// terminal Recycled state and only the single claimant Puts it,
+// keeping one deque from reaching the pool (and later two newDeque
+// callers) twice. Deques that fail the claim are left for the GC or
+// for the racing claimant (their lingering queue entries are dropped
+// lazily as usual).
 func (rt *Runtime) freeDeque(d *dq) {
-	if rt.recycleDeques && d.CanRecycle() {
+	if rt.recycleDeques && d.TakeForRecycle() {
 		rt.deques.Put(d)
 	}
 }
