@@ -26,8 +26,13 @@
 package icilk
 
 import (
+	"context"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"icilk/internal/admin"
+	"icilk/internal/admission"
 	"icilk/internal/iopool"
 	"icilk/internal/metrics"
 	"icilk/internal/sched"
@@ -66,6 +71,36 @@ const (
 // allocator (the paper sweeps these per benchmark).
 type AdaptiveParams = sched.AdaptiveParams
 
+// AdmissionConfig configures the admission-control subsystem (queue
+// capacities, shedding policy, per-request deadlines). See the
+// admission package for field semantics.
+type AdmissionConfig = admission.Config
+
+// AdmissionController is the admission gate in front of a runtime:
+// Submit/Acquire admit or shed requests, Stats snapshots the
+// counters. Obtain one via Config.Admission + Runtime.Admission.
+type AdmissionController = admission.Controller
+
+// AdmissionTicket is the occupancy charge of an inline request
+// admitted with AdmissionController.Acquire.
+type AdmissionTicket = admission.Ticket
+
+// Admission shedding policies (AdmissionConfig.Policy).
+const (
+	// ShedPriorityDrop sheds low priority levels first as aggregate
+	// occupancy grows (the default).
+	ShedPriorityDrop = admission.PriorityDrop
+	// ShedTailDrop rejects only when a request's own level is full.
+	ShedTailDrop = admission.TailDrop
+	// ShedCoDel sheds a level whose minimum queue sojourn stays above
+	// the target for a full interval.
+	ShedCoDel = admission.CoDel
+)
+
+// ErrShed is the sentinel wrapped by every admission rejection; match
+// with errors.Is.
+var ErrShed = admission.ErrShed
+
 // Config configures a Runtime.
 type Config struct {
 	// Workers is the number of scheduler workers. Default 4.
@@ -97,6 +132,11 @@ type Config struct {
 	// RecycleCap bounds how many finished task contexts stay parked
 	// for reuse (idle-memory bound). Default 256.
 	RecycleCap int
+	// Admission, when non-nil, puts an admission controller in front
+	// of the runtime (Runtime.Admission): bounded per-priority
+	// queues, load shedding, and per-request deadlines. Its counters
+	// are registered into the runtime's metric registry.
+	Admission *AdmissionConfig
 }
 
 // Runtime is a running scheduler instance plus its I/O subsystem.
@@ -104,6 +144,11 @@ type Runtime struct {
 	rt      *sched.Runtime
 	io      *iopool.Pool
 	metrics *metrics.Registry
+	adm     *admission.Controller
+	closed  atomic.Bool
+
+	mu     sync.Mutex
+	admins []*admin.Server // servers created by ServeAdmin, shut down by Close
 }
 
 // New creates and starts a runtime.
@@ -129,15 +174,43 @@ func New(cfg Config) (*Runtime, error) {
 	reg := metrics.NewRegistry()
 	rt.RegisterMetrics(reg)
 	pool.RegisterMetrics(reg)
-	return &Runtime{rt: rt, io: pool, metrics: reg}, nil
+	r := &Runtime{rt: rt, io: pool, metrics: reg}
+	if cfg.Admission != nil {
+		adm, err := admission.NewController(rt, *cfg.Admission)
+		if err != nil {
+			pool.Close()
+			rt.Close()
+			return nil, err
+		}
+		adm.RegisterMetrics(reg)
+		r.adm = adm
+	}
+	return r, nil
 }
 
-// Close shuts the runtime down. Drain outstanding work first (wait on
-// your futures, or poll Inflight).
+// Close shuts the runtime down: /readyz flips to 503 immediately, any
+// admin servers created by ServeAdmin drain gracefully (in-flight
+// scrapes finish, bounded at one second), then the I/O pool and the
+// scheduler stop. Drain outstanding work first (wait on your futures,
+// or poll Inflight).
 func (r *Runtime) Close() {
+	r.closed.Store(true)
+	r.mu.Lock()
+	admins := r.admins
+	r.admins = nil
+	r.mu.Unlock()
+	for _, s := range admins {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		s.Shutdown(ctx)
+		cancel()
+	}
 	r.io.Close()
 	r.rt.Close()
 }
+
+// Admission returns the admission controller, or nil unless
+// Config.Admission was set.
+func (r *Runtime) Admission() *AdmissionController { return r.adm }
 
 // Run executes fn as a top-priority future routine and blocks until it
 // returns.
@@ -147,6 +220,24 @@ func (r *Runtime) Run(fn func(*Task) any) any { return r.rt.Run(fn) }
 // level from any goroutine.
 func (r *Runtime) Submit(level int, fn func(*Task) any) *Future {
 	return r.rt.SubmitFuture(level, fn)
+}
+
+// SubmitWithDeadline is Submit with a per-request deadline: if fn's
+// task tree has not completed within timeout it is cancelled, unwinds
+// at its next scheduling points, and the future completes with
+// Err() == context.DeadlineExceeded. Cooperative code can poll
+// Task.Err to stop cleanly first. A non-positive timeout behaves like
+// Submit.
+func (r *Runtime) SubmitWithDeadline(level int, timeout time.Duration, fn func(*Task) any) *Future {
+	return r.rt.SubmitFutureWithDeadline(level, timeout, fn)
+}
+
+// SubmitCtx is Submit bound to a context: when ctx is done (deadline
+// or explicit cancel) fn's task tree is cancelled and the future
+// completes with Err() == context.Cause(ctx). A nil or never-done
+// context behaves like Submit.
+func (r *Runtime) SubmitCtx(ctx context.Context, level int, fn func(*Task) any) *Future {
+	return r.rt.SubmitFutureCtx(ctx, level, fn)
 }
 
 // Inflight returns the number of submitted-but-unfinished futures.

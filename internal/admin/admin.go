@@ -3,6 +3,11 @@
 // scheduler instead of instrumenting a test harness around it.
 //
 //	GET /            endpoint index (text)
+//	GET /healthz     liveness: 200 whenever the server can answer
+//	GET /readyz      readiness: 200 while the attached runtime is open
+//	                 and accepting work; 503 (with a JSON body) when no
+//	                 runtime is attached, the runtime has closed, or
+//	                 admission control reports sustained 100% shedding
 //	GET /metrics     Prometheus text exposition of the metric registry
 //	GET /debug/sched JSON scheduler snapshot (bitfield, per-level pool
 //	                 depths, per-worker state and waste clocks)
@@ -27,6 +32,7 @@
 package admin
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -40,6 +46,16 @@ import (
 	"icilk/internal/trace"
 )
 
+// Health is the runtime view behind GET /readyz: Ready means the
+// runtime is open and its workers are started; Degraded means
+// admission control is currently rejecting every arrival (a load
+// balancer should stop routing new traffic here until it clears).
+type Health struct {
+	Ready    bool   `json:"ready"`
+	Degraded bool   `json:"degraded"`
+	Detail   string `json:"detail,omitempty"`
+}
+
 // Sources are the data feeds behind the endpoints. Any field may be
 // nil/zero; the corresponding endpoint then answers 503.
 type Sources struct {
@@ -52,6 +68,8 @@ type Sources struct {
 	// first, for GET /debug/trace; enabled is false when the runtime
 	// was built without an event trace (TraceCapacity 0).
 	TraceEvents func() (events []trace.Event, enabled bool)
+	// Health backs GET /readyz (liveness /healthz never consults it).
+	Health func() Health
 }
 
 // Server is the admin HTTP server. Create with New, point it at a
@@ -70,6 +88,8 @@ func New() *Server {
 	s := &Server{mux: http.NewServeMux()}
 	s.src.Store(&Sources{})
 	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/sched", s.handleSched)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
@@ -126,7 +146,7 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener and open connections.
+// Close stops the listener and open connections immediately.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	h := s.http
@@ -137,6 +157,21 @@ func (s *Server) Close() error {
 	return h.Close()
 }
 
+// Shutdown stops the server gracefully via http.Server.Shutdown: the
+// listener closes immediately (so /readyz probes start failing at the
+// connection level), in-flight requests — including a slow /metrics
+// scrape or a running CPU profile — drain until ctx expires, and only
+// then are remaining connections cut.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	h := s.http
+	s.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h.Shutdown(ctx)
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -144,10 +179,37 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, "icilk admin endpoints:\n"+
+		"  /healthz      liveness probe (always 200)\n"+
+		"  /readyz       readiness probe (503 when closed or degraded)\n"+
 		"  /metrics      Prometheus text exposition\n"+
 		"  /debug/sched  scheduler snapshot (JSON)\n"+
 		"  /debug/trace  recent scheduler events (JSON, ?n=K)\n"+
 		"  /debug/pprof/ Go runtime profiles (heap, profile, goroutine, ...)\n")
+}
+
+// handleHealthz is the liveness probe: answering at all is the
+// signal, so it is a plain 200 with no source consultation.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "ok\n")
+}
+
+// handleReadyz is the readiness probe: 200 only while an attached
+// runtime is open and not shedding everything.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	src := s.src.Load()
+	if src.Health == nil {
+		http.Error(w, "no runtime attached", http.StatusServiceUnavailable)
+		return
+	}
+	h := src.Health()
+	if !h.Ready || h.Degraded {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(h)
+		return
+	}
+	writeJSON(w, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package admin
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -182,5 +183,71 @@ func TestStartAddrClose(t *testing.T) {
 	res.Body.Close()
 	if !strings.Contains(string(body), "icilk_live_total 1\n") {
 		t.Errorf("live scrape missing counter:\n%s", body)
+	}
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	s := New()
+	// Liveness never consults sources.
+	res, body := get(t, s.Handler(), "/healthz")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("GET /healthz = %d %q, want 200 ok", res.StatusCode, body)
+	}
+}
+
+func TestReadyzStates(t *testing.T) {
+	s := New()
+
+	// No runtime attached: not ready.
+	res, _ := get(t, s.Handler(), "/readyz")
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unattached /readyz = %d, want 503", res.StatusCode)
+	}
+
+	var h Health
+	s.SetSources(Sources{Health: func() Health { return h }})
+
+	h = Health{Ready: true}
+	res, body := get(t, s.Handler(), "/readyz")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("ready /readyz = %d, want 200 (%s)", res.StatusCode, body)
+	}
+
+	h = Health{Ready: true, Degraded: true, Detail: "shedding everything"}
+	res, body = get(t, s.Handler(), "/readyz")
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz = %d, want 503", res.StatusCode)
+	}
+	var got Health
+	if err := json.Unmarshal([]byte(body), &got); err != nil || !got.Degraded {
+		t.Fatalf("degraded body %q (err %v)", body, err)
+	}
+
+	h = Health{Ready: false, Detail: "runtime closed"}
+	res, _ = get(t, s.Handler(), "/readyz")
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed /readyz = %d, want 503", res.StatusCode)
+	}
+}
+
+func TestShutdownGraceful(t *testing.T) {
+	s := New()
+	s.SetSources(Sources{Metrics: metrics.NewRegistry()})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if _, err := http.Get("http://" + addr + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	// Shutdown on an unstarted server is a no-op.
+	if err := New().Shutdown(context.Background()); err != nil {
+		t.Fatalf("unstarted Shutdown: %v", err)
 	}
 }

@@ -1,0 +1,500 @@
+// Package admission is the overload-protection subsystem sitting in
+// front of the scheduler: every submitted request passes an admission
+// decision before a task context is allocated, admitted requests
+// carry a deadline (cooperative cancellation unwinds them at their
+// next scheduling point once it passes), and rejected requests fail
+// in microseconds on a path that performs no allocation and never
+// touches the scheduler.
+//
+// The paper's promptness mechanism keeps high-priority latency low
+// while there is slack; past the QoS knee every level's queue grows
+// without bound and all levels collapse together. Admission control
+// is the complement: bound the per-priority in-flight population and
+// shed work — lowest priorities first — so the top levels keep
+// operating at their isolated maximum while only the bottom degrades.
+//
+// Three shedding policies are provided (Config.Policy):
+//
+//   - TailDrop: reject a request when its own level's in-flight count
+//     has reached that level's capacity. Levels are isolated; a full
+//     low level cannot crowd out a quiet high one, but neither does
+//     load on low levels protect high ones.
+//   - PriorityDrop: additionally reject *low* levels when aggregate
+//     occupancy across all levels is high. Level 0 is shed only when
+//     the system is completely full; the lowest level is shed as soon
+//     as aggregate occupancy crosses Config.ShedThreshold — so under
+//     overload the bottom levels brown out first and the top keeps
+//     its isolated goodput (the experiment cmd/overload-bench runs).
+//   - CoDel: a sojourn-time policy in the spirit of CoDel ("
+//     Controlling Queue Delay", Nichols & Jacobson): per level, track
+//     the minimum queue sojourn (submit → first execution) over an
+//     interval; if even the *minimum* stayed above the target the
+//     level's standing queue is too long and new arrivals are shed
+//     until a sojourn below target is observed. Tail-drop capacity
+//     remains as a backstop.
+//
+// The controller is deliberately scheduler-agnostic: it talks to the
+// runtime only through the Submitter interface (satisfied by
+// *sched.Runtime), so it layers above the work-stealing core exactly
+// as the pluggable-policy literature argues admission structures
+// should.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"icilk/internal/metrics"
+	"icilk/internal/sched"
+)
+
+// Shed-rejection errors. All are preallocated: the shed path must not
+// allocate (verified by TestShedPathDoesNotAllocate). Every rejection
+// wraps ErrShed, so callers match the family with errors.Is(err,
+// ErrShed) and the specific policy with the concrete value.
+var (
+	// ErrShed is the family sentinel: the request was rejected by
+	// admission control without entering the scheduler.
+	ErrShed = errors.New("admission: request shed")
+	// ErrQueueFull is a tail-drop rejection: the request's own level
+	// is at capacity.
+	ErrQueueFull = fmt.Errorf("%w: level queue full", ErrShed)
+	// ErrPriorityShed is a priority-drop rejection: aggregate
+	// occupancy is high enough that this level is being shed to
+	// protect higher-priority work.
+	ErrPriorityShed = fmt.Errorf("%w: priority shed under load", ErrShed)
+	// ErrSojourn is a CoDel rejection: the level's minimum queue
+	// sojourn exceeded the target for a full interval.
+	ErrSojourn = fmt.Errorf("%w: sojourn over target", ErrShed)
+)
+
+// Policy selects the shedding strategy.
+type Policy int
+
+const (
+	// PriorityDrop sheds low priority levels first when aggregate
+	// occupancy is high (the default).
+	PriorityDrop Policy = iota
+	// TailDrop rejects only when a request's own level is full.
+	TailDrop
+	// CoDel sheds a level whose minimum queue sojourn stays above
+	// the target for an interval.
+	CoDel
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PriorityDrop:
+		return "priority-drop"
+	case TailDrop:
+		return "tail-drop"
+	case CoDel:
+		return "codel"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy maps the String names back to policies (flag parsing).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "priority-drop":
+		return PriorityDrop, nil
+	case "tail-drop":
+		return TailDrop, nil
+	case "codel":
+		return CoDel, nil
+	}
+	return 0, fmt.Errorf("admission: unknown policy %q (priority-drop|tail-drop|codel)", s)
+}
+
+// Submitter is the scheduler surface the controller needs —
+// *sched.Runtime satisfies it.
+type Submitter interface {
+	Levels() int
+	SubmitFutureWithDeadline(level int, timeout time.Duration, fn func(*sched.Task) any) *sched.Future
+}
+
+// Config configures a Controller.
+type Config struct {
+	// Policy selects the shedding strategy. Default PriorityDrop.
+	Policy Policy
+	// QueueCap bounds each level's admitted-but-unfinished request
+	// count. Default 256.
+	QueueCap int
+	// PerLevelCap overrides QueueCap per level when non-nil (length
+	// must equal the runtime's level count).
+	PerLevelCap []int
+	// ShedThreshold is the aggregate-occupancy fraction at which
+	// PriorityDrop starts shedding the lowest level; the shed floor
+	// rises linearly until level 0 is shed only at 100%. Default 0.5.
+	ShedThreshold float64
+	// Timeout is the per-request deadline attached to every admitted
+	// submission; past it the request's task tree is cancelled and
+	// unwinds at its next scheduling point. Zero disables deadlines.
+	Timeout time.Duration
+	// PerLevelTimeout overrides Timeout per level when non-nil.
+	PerLevelTimeout []time.Duration
+	// CoDelTarget is the acceptable minimum sojourn. Default 5ms.
+	CoDelTarget time.Duration
+	// CoDelInterval is the sojourn observation window. Default 100ms.
+	CoDelInterval time.Duration
+	// DegradedAfter is how many consecutive shed decisions (with no
+	// intervening admission) flip the controller to Degraded — the
+	// /readyz signal. Default 100.
+	DegradedAfter int64
+}
+
+func (c *Config) applyDefaults(levels int) error {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.PerLevelCap != nil && len(c.PerLevelCap) != levels {
+		return fmt.Errorf("admission: PerLevelCap has %d entries, runtime has %d levels", len(c.PerLevelCap), levels)
+	}
+	if c.PerLevelTimeout != nil && len(c.PerLevelTimeout) != levels {
+		return fmt.Errorf("admission: PerLevelTimeout has %d entries, runtime has %d levels", len(c.PerLevelTimeout), levels)
+	}
+	if c.ShedThreshold <= 0 || c.ShedThreshold >= 1 {
+		c.ShedThreshold = 0.5
+	}
+	if c.CoDelTarget <= 0 {
+		c.CoDelTarget = 5 * time.Millisecond
+	}
+	if c.CoDelInterval <= 0 {
+		c.CoDelInterval = 100 * time.Millisecond
+	}
+	if c.DegradedAfter <= 0 {
+		c.DegradedAfter = 100
+	}
+	return nil
+}
+
+// levelState is one priority level's admission accounting, padded so
+// adjacent levels' hot counters do not false-share.
+type levelState struct {
+	occ       atomic.Int64 // admitted-but-unfinished requests
+	admitted  atomic.Int64
+	shed      atomic.Int64
+	completed atomic.Int64 // finished before their deadline
+	timedOut  atomic.Int64 // cancelled by their deadline
+	_         [24]byte
+
+	codel codelState
+}
+
+// codelState is the per-level CoDel-style sojourn tracker. All fields
+// are atomics; the interval rollover is a CAS so concurrent samples
+// agree on one winner.
+type codelState struct {
+	intervalEnd atomic.Int64 // ns since epoch; 0 = not started
+	minSojourn  atomic.Int64 // ns; math.MaxInt64 = none this interval
+	dropping    atomic.Bool
+}
+
+const noSojourn = int64(1)<<62 - 1
+
+// init arms the tracker: minSojourn must start at the no-sample
+// sentinel or the zero value would register as a 0ns minimum and the
+// policy could never trip.
+func (cs *codelState) init() { cs.minSojourn.Store(noSojourn) }
+
+// sample records one observed queue sojourn and rolls the interval.
+func (cs *codelState) sample(nowNS, sojournNS int64, target, interval time.Duration) {
+	// Keep the interval minimum.
+	for {
+		cur := cs.minSojourn.Load()
+		if sojournNS >= cur || cs.minSojourn.CompareAndSwap(cur, sojournNS) {
+			break
+		}
+	}
+	end := cs.intervalEnd.Load()
+	if end == 0 {
+		cs.intervalEnd.CompareAndSwap(0, nowNS+int64(interval))
+		return
+	}
+	if nowNS < end {
+		return
+	}
+	if !cs.intervalEnd.CompareAndSwap(end, nowNS+int64(interval)) {
+		return // another sampler rolled the interval
+	}
+	minS := cs.minSojourn.Swap(noSojourn)
+	// A full interval whose *minimum* sojourn stayed above target
+	// means a standing queue: start (or keep) shedding. Any interval
+	// with an under-target sojourn stops it.
+	cs.dropping.Store(minS != noSojourn && minS > int64(target))
+}
+
+// Controller is the admission gate in front of one runtime.
+type Controller struct {
+	sub    Submitter
+	cfg    Config
+	levels int
+
+	caps []int64 // per-level occupancy bound
+	// prioThreshold[l] is the aggregate occupancy at or above which
+	// PriorityDrop sheds level l (monotone decreasing in priority:
+	// threshold[0] = total capacity, threshold[last] = total *
+	// ShedThreshold).
+	prioThreshold []int64
+	timeouts      []time.Duration
+
+	total    atomic.Int64 // aggregate occupancy
+	lvl      []levelState
+	consecut atomic.Int64 // consecutive sheds since the last admit
+}
+
+// NewController builds an admission controller over sub. The zero
+// Config is usable (priority-drop, 256/level, no deadlines).
+func NewController(sub Submitter, cfg Config) (*Controller, error) {
+	levels := sub.Levels()
+	if err := cfg.applyDefaults(levels); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		sub:           sub,
+		cfg:           cfg,
+		levels:        levels,
+		caps:          make([]int64, levels),
+		prioThreshold: make([]int64, levels),
+		timeouts:      make([]time.Duration, levels),
+		lvl:           make([]levelState, levels),
+	}
+	var totalCap int64
+	for l := 0; l < levels; l++ {
+		capL := int64(cfg.QueueCap)
+		if cfg.PerLevelCap != nil {
+			capL = int64(cfg.PerLevelCap[l])
+		}
+		if capL <= 0 {
+			return nil, fmt.Errorf("admission: level %d capacity must be positive", l)
+		}
+		c.caps[l] = capL
+		totalCap += capL
+		c.timeouts[l] = cfg.Timeout
+		if cfg.PerLevelTimeout != nil {
+			c.timeouts[l] = cfg.PerLevelTimeout[l]
+		}
+	}
+	for l := 0; l < levels; l++ {
+		// Linear interpolation from ShedThreshold (lowest level) up
+		// to 1.0 (level 0): low levels shed first as occupancy grows.
+		frac := 1.0
+		if levels > 1 {
+			frac = 1.0 - (1.0-cfg.ShedThreshold)*float64(l)/float64(levels-1)
+		}
+		c.prioThreshold[l] = int64(frac * float64(totalCap))
+		c.lvl[l].codel.init()
+	}
+	return c, nil
+}
+
+// Levels returns the controller's level count.
+func (c *Controller) Levels() int { return c.levels }
+
+// Policy returns the configured shedding policy.
+func (c *Controller) Policy() Policy { return c.cfg.Policy }
+
+// Timeout returns the per-request deadline applied at level l.
+func (c *Controller) Timeout(l int) time.Duration { return c.timeouts[l] }
+
+// admit makes the admission decision for one request at level l. On
+// success the request's occupancy is charged (undone by release); on
+// failure a preallocated shed error is returned and nothing else
+// happens — no allocation, no scheduler interaction.
+func (c *Controller) admit(l int) error {
+	ls := &c.lvl[l]
+	if ls.occ.Add(1) > c.caps[l] {
+		ls.occ.Add(-1)
+		return c.shed(ls, ErrQueueFull)
+	}
+	total := c.total.Add(1)
+	switch c.cfg.Policy {
+	case PriorityDrop:
+		if total > c.prioThreshold[l] {
+			ls.occ.Add(-1)
+			c.total.Add(-1)
+			return c.shed(ls, ErrPriorityShed)
+		}
+	case CoDel:
+		if ls.codel.dropping.Load() {
+			ls.occ.Add(-1)
+			c.total.Add(-1)
+			return c.shed(ls, ErrSojourn)
+		}
+	}
+	ls.admitted.Add(1)
+	c.consecut.Store(0)
+	return nil
+}
+
+func (c *Controller) shed(ls *levelState, err error) error {
+	ls.shed.Add(1)
+	c.consecut.Add(1)
+	return err
+}
+
+// release un-charges one finished (or abandoned) request.
+func (c *Controller) release(l int, timedOut bool) {
+	ls := &c.lvl[l]
+	ls.occ.Add(-1)
+	c.total.Add(-1)
+	if timedOut {
+		ls.timedOut.Add(1)
+	} else {
+		ls.completed.Add(1)
+	}
+}
+
+// Submit admits and dispatches fn as a future routine at level l with
+// the level's deadline attached. A shed request returns a nil future
+// and a preallocated error wrapping ErrShed, in microseconds, without
+// allocating a task context or touching the scheduler. The occupancy
+// charge is released when the future completes on any path — normal
+// return, deadline cancellation mid-run, or the queued-past-deadline
+// case where the body never executes (Future.OnComplete covers all
+// three; a body-side defer would miss the last).
+func (c *Controller) Submit(l int, fn func(*sched.Task) any) (*sched.Future, error) {
+	if err := c.admit(l); err != nil {
+		return nil, err
+	}
+	codel := c.cfg.Policy == CoDel
+	var enq time.Time
+	if codel {
+		enq = time.Now()
+	}
+	f := c.sub.SubmitFutureWithDeadline(l, c.timeouts[l], func(t *sched.Task) any {
+		if codel {
+			now := time.Now()
+			c.lvl[l].codel.sample(now.UnixNano(), now.Sub(enq).Nanoseconds(),
+				c.cfg.CoDelTarget, c.cfg.CoDelInterval)
+		}
+		if t.Err() != nil {
+			// Fired between resume and body start: abandon early.
+			return nil
+		}
+		return fn(t)
+	})
+	f.OnComplete(func(err error) { c.release(l, err != nil) })
+	return f, nil
+}
+
+// Ticket is the occupancy charge of an inline request admitted with
+// Acquire. It is a value type: the acquire/release pair allocates
+// nothing.
+type Ticket struct {
+	level int
+	enq   time.Time
+}
+
+// Acquire admits one inline request (one a caller executes on its own
+// task rather than submitting as a future — e.g. a Memcached command
+// inside a connection routine). The caller must Release the ticket
+// when the request finishes. The shed path is identical to Submit's:
+// preallocated error, no allocation.
+func (c *Controller) Acquire(l int) (Ticket, error) {
+	if err := c.admit(l); err != nil {
+		return Ticket{}, err
+	}
+	return Ticket{level: l, enq: time.Now()}, nil
+}
+
+// Release completes an inline request. late reports that the request
+// exceeded its deadline (the caller enforces inline deadlines, since
+// the work ran on the caller's own task).
+func (c *Controller) Release(tk Ticket, late bool) {
+	if c.cfg.Policy == CoDel {
+		now := time.Now()
+		// Inline requests never queue in the scheduler, but their
+		// service time is the sojourn the *next* request at this level
+		// experiences on a busy connection; feed it to the estimator.
+		c.lvl[tk.level].codel.sample(now.UnixNano(), now.Sub(tk.enq).Nanoseconds(),
+			c.cfg.CoDelTarget, c.cfg.CoDelInterval)
+	}
+	c.release(tk.level, late)
+}
+
+// Degraded reports sustained 100%-shed operation: at least
+// Config.DegradedAfter consecutive rejections with no intervening
+// admission. The /readyz endpoint surfaces it.
+func (c *Controller) Degraded() bool {
+	return c.consecut.Load() >= c.cfg.DegradedAfter
+}
+
+// LevelStats is one level's admission accounting.
+type LevelStats struct {
+	Level     int   `json:"level"`
+	Occupancy int64 `json:"occupancy"`
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Completed int64 `json:"completed"`
+	TimedOut  int64 `json:"timedOut"`
+}
+
+// Stats is a point-in-time controller snapshot.
+type Stats struct {
+	Policy   string       `json:"policy"`
+	Total    int64        `json:"totalOccupancy"`
+	Degraded bool         `json:"degraded"`
+	PerLevel []LevelStats `json:"perLevel"`
+}
+
+// Stats snapshots the controller's counters.
+func (c *Controller) Stats() Stats {
+	s := Stats{
+		Policy:   c.cfg.Policy.String(),
+		Total:    c.total.Load(),
+		Degraded: c.Degraded(),
+		PerLevel: make([]LevelStats, c.levels),
+	}
+	for l := range s.PerLevel {
+		ls := &c.lvl[l]
+		s.PerLevel[l] = LevelStats{
+			Level:     l,
+			Occupancy: ls.occ.Load(),
+			Admitted:  ls.admitted.Load(),
+			Shed:      ls.shed.Load(),
+			Completed: ls.completed.Load(),
+			TimedOut:  ls.timedOut.Load(),
+		}
+	}
+	return s
+}
+
+// RegisterMetrics exports the controller's counters and gauges into
+// reg. All sources are pull-based atomics; registration adds nothing
+// to the admission hot path.
+func (c *Controller) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("icilk_admission_occupancy_total",
+		"Admitted-but-unfinished requests across all priority levels.",
+		func() float64 { return float64(c.total.Load()) })
+	reg.GaugeFunc("icilk_admission_degraded",
+		"1 while the controller is shedding 100% of arrivals (readiness signal).",
+		func() float64 {
+			if c.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	for l := 0; l < c.levels; l++ {
+		ls := &c.lvl[l]
+		lbl := metrics.LevelLabel(l)
+		reg.GaugeFunc("icilk_admission_queue_depth",
+			"Admitted-but-unfinished requests at this priority level.",
+			func() float64 { return float64(ls.occ.Load()) }, lbl)
+		reg.CounterFunc("icilk_admission_admitted_total",
+			"Requests admitted past the admission controller.",
+			func() float64 { return float64(ls.admitted.Load()) }, lbl)
+		reg.CounterFunc("icilk_admission_shed_total",
+			"Requests rejected by the admission controller.",
+			func() float64 { return float64(ls.shed.Load()) }, lbl)
+		reg.CounterFunc("icilk_admission_timeouts_total",
+			"Admitted requests cancelled by their deadline.",
+			func() float64 { return float64(ls.timedOut.Load()) }, lbl)
+		reg.CounterFunc("icilk_admission_completed_total",
+			"Admitted requests that finished before their deadline.",
+			func() float64 { return float64(ls.completed.Load()) }, lbl)
+	}
+}

@@ -1,0 +1,417 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icilk/internal/metrics"
+	"icilk/internal/sched"
+)
+
+func newRT(t *testing.T, workers, levels int) *sched.Runtime {
+	t.Helper()
+	rt, err := sched.New(sched.Config{Workers: workers, Levels: levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func newCtl(t *testing.T, rt *sched.Runtime, cfg Config) *Controller {
+	t.Helper()
+	c, err := NewController(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTailDropCapacity(t *testing.T) {
+	rt := newRT(t, 1, 1)
+	c := newCtl(t, rt, Config{Policy: TailDrop, QueueCap: 2})
+
+	tk1, err := c.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk2, err := c.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire(0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Acquire err = %v, want ErrQueueFull", err)
+	}
+	if !errors.Is(ErrQueueFull, ErrShed) {
+		t.Fatal("ErrQueueFull must wrap ErrShed")
+	}
+	c.Release(tk1, false)
+	if _, err := c.Acquire(0); err != nil {
+		t.Fatalf("Acquire after Release err = %v", err)
+	}
+	c.Release(tk2, true)
+
+	s := c.Stats()
+	if s.PerLevel[0].Shed != 1 {
+		t.Fatalf("shed = %d, want 1", s.PerLevel[0].Shed)
+	}
+	if s.PerLevel[0].Completed != 1 || s.PerLevel[0].TimedOut != 1 {
+		t.Fatalf("completed=%d timedOut=%d, want 1/1",
+			s.PerLevel[0].Completed, s.PerLevel[0].TimedOut)
+	}
+}
+
+// TestPriorityDropShedsLowFirst is the core overload-protection
+// property: as aggregate occupancy grows, the lowest level is shed
+// while the highest is still admitted.
+func TestPriorityDropShedsLowFirst(t *testing.T) {
+	rt := newRT(t, 1, 2)
+	// total capacity 16; threshold[0]=16, threshold[1]=8.
+	c := newCtl(t, rt, Config{Policy: PriorityDrop, QueueCap: 8, ShedThreshold: 0.5})
+
+	var held []Ticket
+	for i := 0; i < 2; i++ {
+		tk, err := c.Acquire(1)
+		if err != nil {
+			t.Fatalf("low-level Acquire %d under light load: %v", i, err)
+		}
+		held = append(held, tk)
+	}
+	for i := 0; i < 7; i++ { // aggregate now 9 > threshold[1]=8
+		tk, err := c.Acquire(0)
+		if err != nil {
+			t.Fatalf("high-level Acquire %d: %v", i, err)
+		}
+		held = append(held, tk)
+	}
+	if _, err := c.Acquire(1); !errors.Is(err, ErrPriorityShed) {
+		t.Fatalf("low-level Acquire under load err = %v, want ErrPriorityShed", err)
+	}
+	tk, err := c.Acquire(0) // occ[0]=8 <= cap, total 10 <= 16
+	if err != nil {
+		t.Fatalf("high-level Acquire under load err = %v, want admit", err)
+	}
+	held = append(held, tk)
+	for _, tk := range held {
+		c.Release(tk, false)
+	}
+	if got := c.Stats().Total; got != 0 {
+		t.Fatalf("occupancy after full release = %d, want 0", got)
+	}
+}
+
+// TestCoDelTripsUnderSustainedSojourn unit-tests the sojourn
+// estimator with explicit clocks: a full interval whose minimum
+// sojourn stays above target flips dropping on; one under-target
+// observation in a later interval flips it off.
+func TestCoDelTripsUnderSustainedSojourn(t *testing.T) {
+	var cs codelState
+	cs.init()
+	target := 5 * time.Millisecond
+	interval := 100 * time.Millisecond
+	ms := int64(time.Millisecond)
+
+	now := int64(1_000_000_000)
+	cs.sample(now, 20*ms, target, interval) // starts the interval
+	if cs.dropping.Load() {
+		t.Fatal("dropping before a full interval elapsed")
+	}
+	for i := int64(1); i <= 9; i++ {
+		cs.sample(now+i*10*ms, 20*ms, target, interval)
+	}
+	// Cross the interval boundary with another over-target sojourn.
+	cs.sample(now+101*ms, 30*ms, target, interval)
+	if !cs.dropping.Load() {
+		t.Fatal("not dropping after a full over-target interval")
+	}
+	// An under-target sojourn in the next interval clears it.
+	cs.sample(now+150*ms, 1*ms, target, interval)
+	cs.sample(now+202*ms, 2*ms, target, interval) // rolls the interval
+	if cs.dropping.Load() {
+		t.Fatal("still dropping after an under-target interval")
+	}
+}
+
+func TestCoDelControllerSheds(t *testing.T) {
+	rt := newRT(t, 1, 1)
+	c := newCtl(t, rt, Config{Policy: CoDel, QueueCap: 64})
+	// Force the dropping state directly (the estimator has its own
+	// test above) and check the admission decision.
+	c.lvl[0].codel.dropping.Store(true)
+	if _, err := c.Acquire(0); !errors.Is(err, ErrSojourn) {
+		t.Fatalf("Acquire err = %v, want ErrSojourn", err)
+	}
+	c.lvl[0].codel.dropping.Store(false)
+	tk, err := c.Acquire(0)
+	if err != nil {
+		t.Fatalf("Acquire err = %v, want admit", err)
+	}
+	c.Release(tk, false)
+}
+
+// TestShedPathDoesNotAllocate is an acceptance criterion: a rejected
+// request must fail without allocating — no task context, no error
+// value, nothing.
+func TestShedPathDoesNotAllocate(t *testing.T) {
+	rt := newRT(t, 1, 1)
+	c := newCtl(t, rt, Config{Policy: TailDrop, QueueCap: 1})
+	tk, err := c.Acquire(0) // fill the level
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release(tk, false)
+
+	body := func(task *sched.Task) any { return nil }
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := c.Submit(0, body); !errors.Is(err, ErrShed) {
+			t.Fatal("expected shed")
+		}
+	}); n != 0 {
+		t.Fatalf("shed Submit allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := c.Acquire(0); !errors.Is(err, ErrShed) {
+			t.Fatal("expected shed")
+		}
+	}); n != 0 {
+		t.Fatalf("shed Acquire allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestDegraded(t *testing.T) {
+	rt := newRT(t, 1, 1)
+	c := newCtl(t, rt, Config{Policy: TailDrop, QueueCap: 1, DegradedAfter: 5})
+	tk, err := c.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Acquire(0) // shed
+		if c.Degraded() {
+			t.Fatalf("degraded after only %d sheds", i+1)
+		}
+	}
+	c.Acquire(0)
+	if !c.Degraded() {
+		t.Fatal("not degraded after 5 consecutive sheds")
+	}
+	// One admission resets the streak.
+	c.Release(tk, false)
+	tk, err = c.Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Degraded() {
+		t.Fatal("still degraded after an admission")
+	}
+	c.Release(tk, false)
+}
+
+// TestSubmitReleasesOnEveryPath covers the three completion paths:
+// normal return, deadline cancellation mid-run, and deadline passing
+// while the request is still queued (body never runs).
+func TestSubmitReleasesOnEveryPath(t *testing.T) {
+	rt := newRT(t, 2, 1)
+	c := newCtl(t, rt, Config{QueueCap: 64, Timeout: 20 * time.Millisecond})
+
+	// Normal completion.
+	f, err := c.Submit(0, func(task *sched.Task) any { return "ok" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := f.Wait(); v != "ok" {
+		t.Fatalf("value = %v", v)
+	}
+
+	// Cancelled mid-run.
+	f, err = c.Submit(0, func(task *sched.Task) any {
+		for {
+			task.Yield()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Wait()
+	if err := f.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want DeadlineExceeded", err)
+	}
+
+	waitOccupancyZero(t, c)
+	s := c.Stats()
+	if s.PerLevel[0].Completed != 1 || s.PerLevel[0].TimedOut != 1 {
+		t.Fatalf("completed=%d timedOut=%d, want 1/1",
+			s.PerLevel[0].Completed, s.PerLevel[0].TimedOut)
+	}
+
+	// Doomed while queued: one worker, the first request hogs it past
+	// the second's deadline; the second's body must never run but its
+	// occupancy must still be released.
+	rt2 := newRT(t, 1, 1)
+	c2 := newCtl(t, rt2, Config{QueueCap: 64, Timeout: 15 * time.Millisecond})
+	release := make(chan struct{})
+	hog, err := c2.Submit(0, func(task *sched.Task) any {
+		for {
+			select {
+			case <-release:
+				return nil
+			default:
+				task.Yield()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Bool
+	queued, err := c2.Submit(0, func(task *sched.Task) any {
+		ran.Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued.Wait()
+	close(release)
+	hog.Wait()
+	if ran.Load() {
+		t.Fatal("doomed queued request ran its body")
+	}
+	if err := queued.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Err() = %v, want DeadlineExceeded", err)
+	}
+	waitOccupancyZero(t, c2)
+}
+
+func waitOccupancyZero(t *testing.T, c *Controller) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Total != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("occupancy stuck at %d", c.Stats().Total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrentSubmitShedCancel is the acceptance-criterion race
+// test: many goroutines submitting through a small-capacity
+// controller with short deadlines, so admissions, sheds, mid-run
+// cancellations, and queued-past-deadline abandonments all interleave.
+// Run with -race.
+func TestConcurrentSubmitShedCancel(t *testing.T) {
+	rt := newRT(t, 4, 2)
+	c := newCtl(t, rt, Config{
+		Policy:   PriorityDrop,
+		QueueCap: 16,
+		Timeout:  2 * time.Millisecond,
+	})
+	const (
+		goroutines = 8
+		perG       = 100
+	)
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var futs []*sched.Future
+			for i := 0; i < perG; i++ {
+				lvl := (g + i) % 2
+				f, err := c.Submit(lvl, func(task *sched.Task) any {
+					for j := 0; j < 20; j++ {
+						task.Spawn(func(ct *sched.Task) {})
+						task.Sync()
+					}
+					return nil
+				})
+				if err != nil {
+					if !errors.Is(err, ErrShed) {
+						t.Error(err)
+						return
+					}
+					shed.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				futs = append(futs, f)
+			}
+			for _, f := range futs {
+				f.Wait()
+			}
+		}(g)
+	}
+	wg.Wait()
+	waitOccupancyZero(t, c)
+
+	if got := admitted.Load() + shed.Load(); got != goroutines*perG {
+		t.Fatalf("admitted+shed = %d, want %d", got, goroutines*perG)
+	}
+	s := c.Stats()
+	var finished int64
+	for _, ls := range s.PerLevel {
+		finished += ls.Completed + ls.TimedOut
+	}
+	if finished != admitted.Load() {
+		t.Fatalf("completed+timedOut = %d, want %d admitted", finished, admitted.Load())
+	}
+	t.Logf("admitted=%d shed=%d", admitted.Load(), shed.Load())
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{PriorityDrop, TailDrop, CoDel} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round-trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy(bogus) succeeded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rt := newRT(t, 1, 2)
+	if _, err := NewController(rt, Config{PerLevelCap: []int{1}}); err == nil {
+		t.Fatal("mismatched PerLevelCap accepted")
+	}
+	if _, err := NewController(rt, Config{PerLevelTimeout: []time.Duration{time.Second}}); err == nil {
+		t.Fatal("mismatched PerLevelTimeout accepted")
+	}
+	if _, err := NewController(rt, Config{PerLevelCap: []int{0, 1}}); err == nil {
+		t.Fatal("zero per-level capacity accepted")
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	rt := newRT(t, 1, 2)
+	c := newCtl(t, rt, Config{QueueCap: 4})
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+	tk, err := c.Acquire(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Acquire(1) // shed? no — cap 4; force one shed at level 1
+	for i := 0; i < 4; i++ {
+		c.Acquire(1)
+	}
+	out := reg.String()
+	for _, want := range []string{
+		"icilk_admission_occupancy_total",
+		`icilk_admission_queue_depth{level="1"}`,
+		`icilk_admission_shed_total{level="1"}`,
+		"icilk_admission_degraded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	c.Release(tk, false)
+}

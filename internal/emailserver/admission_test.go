@@ -1,0 +1,68 @@
+package emailserver
+
+import (
+	"testing"
+
+	"icilk"
+	"icilk/internal/netsim"
+)
+
+// TestNetFrontendAdmissionShed: with the controller at capacity the
+// frontend answers "ERR out of capacity" and recovers once load
+// drains.
+func TestNetFrontendAdmissionShed(t *testing.T) {
+	rt, err := icilk.New(icilk.Config{
+		Workers: 2,
+		Levels:  Levels,
+		Admission: &icilk.AdmissionConfig{
+			Policy:   icilk.ShedTailDrop,
+			QueueCap: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	srv, err := New(rt, Config{Users: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetAdmission(rt.Admission())
+	nf := NewNetFrontend(srv, rt)
+	ln := netsim.NewListener()
+	defer ln.Close()
+	go nf.Serve(ln)
+
+	ep, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &netClient{ep: ep}
+
+	body := "hello"
+	tk, err := rt.Admission().Acquire(LevelSend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.cmd(t, "SEND 1 a@x s 5\r\n"+body+"\r\n")
+	if got != "ERR out of capacity" {
+		t.Fatalf("overloaded SEND -> %q", got)
+	}
+	rt.Admission().Release(tk, false)
+
+	if got := c.cmd(t, "SEND 1 a@x s 5\r\n"+body+"\r\n"); got != "OK" {
+		t.Fatalf("SEND after release -> %q", got)
+	}
+	// Sheds are per level: a full sort level does not block sends.
+	tk, err = rt.Admission().Acquire(LevelSort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.cmd(t, "SORT 1\r\n"); got != "ERR out of capacity" {
+		t.Fatalf("overloaded SORT -> %q", got)
+	}
+	if got := c.cmd(t, "SEND 1 a@x s 5\r\n"+body+"\r\n"); got != "OK" {
+		t.Fatalf("SEND with sort level full -> %q", got)
+	}
+	rt.Admission().Release(tk, false)
+}

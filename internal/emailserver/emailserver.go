@@ -62,6 +62,7 @@ type Mailbox struct {
 // operations execute on.
 type Server struct {
 	rt    *icilk.Runtime
+	adm   *icilk.AdmissionController // nil = no admission control
 	boxes []*Mailbox
 }
 
@@ -95,6 +96,22 @@ func New(rt *icilk.Runtime, cfg Config) (*Server, error) {
 // Users returns the mailbox count.
 func (s *Server) Users() int { return len(s.boxes) }
 
+// SetAdmission attaches an admission controller: the Try submission
+// variants (TrySend/TrySort/TryCompress/TryPrint/TryDo) then gate
+// every operation through it, inheriting its per-level queue bounds,
+// shedding policy, and deadlines. The unconditional variants (Send,
+// Do, ...) bypass it.
+func (s *Server) SetAdmission(adm *icilk.AdmissionController) { s.adm = adm }
+
+// submit routes one operation through the admission controller when
+// one is attached, or straight to the runtime otherwise.
+func (s *Server) submit(level int, fn func(*icilk.Task) any) (*icilk.Future, error) {
+	if s.adm != nil {
+		return s.adm.Submit(level, fn)
+	}
+	return s.rt.Submit(level, fn), nil
+}
+
 // MailboxLen returns user u's current message count (tests).
 func (s *Server) MailboxLen(u int) int {
 	b := s.boxes[u]
@@ -106,6 +123,15 @@ func (s *Server) MailboxLen(u int) int {
 // Send submits a send operation and returns its future.
 func (s *Server) Send(user int, from, subject string, body []byte) *icilk.Future {
 	return s.rt.Submit(LevelSend, func(t *icilk.Task) any {
+		s.doSend(user, from, subject, body)
+		return nil
+	})
+}
+
+// TrySend is Send gated by the attached admission controller: a shed
+// request returns a nil future and an error wrapping icilk.ErrShed.
+func (s *Server) TrySend(user int, from, subject string, body []byte) (*icilk.Future, error) {
+	return s.submit(LevelSend, func(t *icilk.Task) any {
 		s.doSend(user, from, subject, body)
 		return nil
 	})
@@ -131,6 +157,14 @@ func (s *Server) doSend(user int, from, subject string, body []byte) {
 // sender, then sequence) and returns its future.
 func (s *Server) Sort(user int) *icilk.Future {
 	return s.rt.Submit(LevelSort, func(t *icilk.Task) any {
+		s.doSort(t, user)
+		return nil
+	})
+}
+
+// TrySort is Sort gated by the attached admission controller.
+func (s *Server) TrySort(user int) (*icilk.Future, error) {
+	return s.submit(LevelSort, func(t *icilk.Task) any {
 		s.doSort(t, user)
 		return nil
 	})
@@ -185,6 +219,13 @@ func (s *Server) Compress(user int) *icilk.Future {
 	})
 }
 
+// TryCompress is Compress gated by the attached admission controller.
+func (s *Server) TryCompress(user int) (*icilk.Future, error) {
+	return s.submit(LevelCompress, func(t *icilk.Task) any {
+		return s.doCompress(t, user)
+	})
+}
+
 func (s *Server) doCompress(t *icilk.Task, user int) int {
 	b := s.boxes[user%len(s.boxes)]
 	b.mu.Lock()
@@ -226,6 +267,13 @@ func (s *Server) doCompress(t *icilk.Task, user int) int {
 // render it); the future resolves to the rendered length.
 func (s *Server) Print(user int) *icilk.Future {
 	return s.rt.Submit(LevelPrint, func(t *icilk.Task) any {
+		return s.doPrint(t, user)
+	})
+}
+
+// TryPrint is Print gated by the attached admission controller.
+func (s *Server) TryPrint(user int) (*icilk.Future, error) {
+	return s.submit(LevelPrint, func(t *icilk.Task) any {
 		return s.doPrint(t, user)
 	})
 }
@@ -279,6 +327,23 @@ func (s *Server) Do(op int, user int, seq int64) *icilk.Future {
 		return s.Print(user)
 	default:
 		return s.Compress(user)
+	}
+}
+
+// TryDo is Do gated by the attached admission controller: a shed
+// operation returns a nil future and an error wrapping icilk.ErrShed.
+func (s *Server) TryDo(op int, user int, seq int64) (*icilk.Future, error) {
+	switch op {
+	case 0:
+		subject := fmt.Sprintf("msg-%d", seq%97)
+		body := makeBody(int(seq))
+		return s.TrySend(user, fmt.Sprintf("user%d@example.com", seq%31), subject, body)
+	case 1:
+		return s.TrySort(user)
+	case 2:
+		return s.TryPrint(user)
+	default:
+		return s.TryCompress(user)
 	}
 }
 

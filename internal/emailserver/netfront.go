@@ -74,6 +74,29 @@ func (nf *NetFrontend) record(op string, t0 time.Time) {
 	}
 }
 
+// Overload replies: an admission rejection and a missed deadline are
+// distinct protocol errors, so clients can tell "retry elsewhere"
+// from "too slow".
+const (
+	replyShed     = "ERR out of capacity\r\n"
+	replyDeadline = "ERR deadline exceeded\r\n"
+)
+
+// await gets f's result, distinguishing the timeout outcome. A shed
+// submission (err != nil, f == nil) is reported immediately.
+func (nf *NetFrontend) await(t *icilk.Task, ep *netsim.Endpoint, f *icilk.Future, err error) (any, bool) {
+	if err != nil {
+		ep.WriteString(replyShed)
+		return nil, false
+	}
+	v := f.Get(t)
+	if f.Err() != nil {
+		ep.WriteString(replyDeadline)
+		return nil, false
+	}
+	return v, true
+}
+
 // Serve accepts connections until the listener closes. It blocks; run
 // it on a goroutine.
 func (nf *NetFrontend) Serve(ln *netsim.Listener) {
@@ -118,7 +141,10 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 				return
 			}
 			t0 := time.Now()
-			nf.srv.Send(user, fields[2], fields[3], body).Get(t)
+			f, aerr := nf.srv.TrySend(user, fields[2], fields[3], body)
+			if _, ok := nf.await(t, ep, f, aerr); !ok {
+				continue
+			}
 			nf.record("send", t0)
 			ep.WriteString("OK\r\n")
 
@@ -128,7 +154,10 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 				continue
 			}
 			t0 := time.Now()
-			nf.srv.Sort(user).Get(t)
+			f, aerr := nf.srv.TrySort(user)
+			if _, ok := nf.await(t, ep, f, aerr); !ok {
+				continue
+			}
 			nf.record("sort", t0)
 			ep.WriteString("OK\r\n")
 
@@ -138,9 +167,13 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 				continue
 			}
 			t0 := time.Now()
-			n := nf.srv.Compress(user).Get(t).(int)
+			f, aerr := nf.srv.TryCompress(user)
+			v, ok := nf.await(t, ep, f, aerr)
+			if !ok {
+				continue
+			}
 			nf.record("comp", t0)
-			fmt.Fprintf(ep, "OK %d\r\n", n)
+			fmt.Fprintf(ep, "OK %d\r\n", v.(int))
 
 		case "PRINT":
 			user, ok := parseUser(ep, fields)
@@ -148,9 +181,13 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 				continue
 			}
 			t0 := time.Now()
-			n := nf.srv.Print(user).Get(t).(int)
+			f, aerr := nf.srv.TryPrint(user)
+			v, ok := nf.await(t, ep, f, aerr)
+			if !ok {
+				continue
+			}
 			nf.record("print", t0)
-			fmt.Fprintf(ep, "OK %d\r\n", n)
+			fmt.Fprintf(ep, "OK %d\r\n", v.(int))
 
 		case "QUIT":
 			ep.WriteString("OK\r\n")

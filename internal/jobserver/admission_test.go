@@ -1,0 +1,104 @@
+package jobserver
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"icilk"
+	"icilk/internal/netsim"
+)
+
+// jobClient is a minimal blocking line client for the RUN protocol.
+type jobClient struct {
+	ep  *netsim.Endpoint
+	buf []byte
+	pos int
+}
+
+func (c *jobClient) readLine(t *testing.T) string {
+	t.Helper()
+	for {
+		for i := c.pos; i < len(c.buf); i++ {
+			if c.buf[i] == '\n' {
+				line := strings.TrimRight(string(c.buf[c.pos:i]), "\r")
+				c.pos = i + 1
+				return line
+			}
+		}
+		var chunk [512]byte
+		n, err := c.ep.Read(chunk[:])
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		c.buf = append(c.buf, chunk[:n]...)
+	}
+}
+
+// TestNetFrontendShedAndLate covers the two overload replies: SHED
+// for an admission rejection, LATE for a job cancelled by its
+// deadline.
+func TestNetFrontendShedAndLate(t *testing.T) {
+	timeouts := make([]time.Duration, Levels)
+	timeouts[LevelSW] = 200 * time.Microsecond // sw takes ms: certain to miss
+	rt, err := icilk.New(icilk.Config{
+		Workers: 2,
+		Levels:  Levels,
+		Admission: &icilk.AdmissionConfig{
+			Policy:          icilk.ShedTailDrop,
+			QueueCap:        4,
+			PerLevelTimeout: timeouts,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	cfg := DefaultConfig()
+	cfg.SWSize = 512 // several ms of work, far past the sw deadline
+	srv, err := New(rt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetAdmission(rt.Admission())
+	nf := NewNetFrontend(srv, rt)
+	ln := netsim.NewListener()
+	defer ln.Close()
+	go nf.Serve(ln)
+
+	ep, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &jobClient{ep: ep}
+
+	// Shed: fill the mm level from outside, then submit an mm job.
+	var held []icilk.AdmissionTicket
+	for i := 0; i < 4; i++ {
+		tk, err := rt.Admission().Acquire(LevelMM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, tk)
+	}
+	ep.WriteString("RUN mm 1\r\n")
+	if got := c.readLine(t); got != "SHED mm 1" {
+		t.Fatalf("overloaded RUN mm -> %q", got)
+	}
+	for _, tk := range held {
+		rt.Admission().Release(tk, false)
+	}
+
+	// Late: an sw job whose deadline is far below its service time is
+	// cancelled mid-run and reported LATE.
+	ep.WriteString("RUN sw 2\r\n")
+	if got := c.readLine(t); got != "LATE sw 2" {
+		t.Fatalf("over-deadline RUN sw -> %q", got)
+	}
+
+	// A class with no deadline still completes normally.
+	ep.WriteString("RUN fib 3\r\n")
+	if got := c.readLine(t); !strings.HasPrefix(got, "DONE fib 3 ") {
+		t.Fatalf("RUN fib -> %q", got)
+	}
+}

@@ -18,6 +18,10 @@ import (
 //
 //	RUN <class> <seed>\r\n  -> DONE <class> <seed> <result>\r\n
 //	                           (class: mm | fib | sort | sw)
+//	                        -> SHED <class> <seed>\r\n when admission
+//	                           control rejects the job outright
+//	                        -> LATE <class> <seed>\r\n when the job's
+//	                           deadline cancelled it before completion
 //	QUIT\r\n                -> closes
 //
 // Responses arrive in completion order, not submission order (jobs at
@@ -116,12 +120,23 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 			// jobs from one connection run concurrently, as the SJF
 			// server requires.
 			t0 := time.Now()
-			f := nf.srv.Do(class, seed)
 			className := strings.ToLower(fields[1])
+			f, aerr := nf.srv.TryDo(class, seed)
+			if aerr != nil {
+				// Shed by admission control: immediate rejection, no
+				// scheduler involvement; the client may retry or route
+				// elsewhere.
+				fmt.Fprintf(ep, "SHED %s %d\r\n", className, seed)
+				continue
+			}
 			level := []int{LevelMM, LevelFib, LevelSort, LevelSW}[class]
 			m := nf.ops[class]
 			nf.rt.Submit(level, func(ct *icilk.Task) any {
 				result := f.Get(ct)
+				if f.Err() != nil {
+					fmt.Fprintf(ep, "LATE %s %d\r\n", className, seed)
+					return nil
+				}
 				fmt.Fprintf(ep, "DONE %s %d %v\r\n", className, seed, result)
 				if m != nil {
 					m.reqs.Inc()

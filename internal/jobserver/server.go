@@ -28,6 +28,7 @@ func DefaultConfig() Config {
 // levels.
 type Server struct {
 	rt  *icilk.Runtime
+	adm *icilk.AdmissionController // nil = no admission control
 	cfg Config
 }
 
@@ -43,13 +44,17 @@ func New(rt *icilk.Runtime, cfg Config) (*Server, error) {
 	return &Server{rt: rt, cfg: cfg}, nil
 }
 
-// Do submits one job of the given class (0=mm, 1=fib, 2=sort, 3=sw)
-// with a deterministic input derived from seq, and returns its
-// future. The future resolves to a checksum of the job's result.
-func (s *Server) Do(class int, seq int64) *icilk.Future {
+// SetAdmission attaches an admission controller consulted by TryDo
+// (Do bypasses it).
+func (s *Server) SetAdmission(adm *icilk.AdmissionController) { s.adm = adm }
+
+// job returns the priority level and task body of one job of the
+// given class (0=mm, 1=fib, 2=sort, 3=sw) with a deterministic input
+// derived from seq. The body returns a checksum of the job's result.
+func (s *Server) job(class int, seq int64) (int, func(*icilk.Task) any) {
 	switch class {
 	case 0:
-		return s.rt.Submit(LevelMM, func(t *icilk.Task) any {
+		return LevelMM, func(t *icilk.Task) any {
 			n := s.cfg.MMSize
 			a, b := randomMatrix(n, uint64(seq)), randomMatrix(n, uint64(seq)+1)
 			c := MM(t, a, b, n)
@@ -58,13 +63,13 @@ func (s *Server) Do(class int, seq int64) *icilk.Future {
 				sum += v
 			}
 			return sum
-		})
+		}
 	case 1:
-		return s.rt.Submit(LevelFib, func(t *icilk.Task) any {
+		return LevelFib, func(t *icilk.Task) any {
 			return Fib(t, s.cfg.FibN)
-		})
+		}
 	case 2:
-		return s.rt.Submit(LevelSort, func(t *icilk.Task) any {
+		return LevelSort, func(t *icilk.Task) any {
 			xs := randomInts(s.cfg.SortSize, uint64(seq))
 			Sort(t, xs)
 			// Checksum that also certifies sortedness.
@@ -76,14 +81,31 @@ func (s *Server) Do(class int, seq int64) *icilk.Future {
 				sum += xs[i] * int64(i%7)
 			}
 			return sum
-		})
+		}
 	default:
-		return s.rt.Submit(LevelSW, func(t *icilk.Task) any {
+		return LevelSW, func(t *icilk.Task) any {
 			p := randomSeq(s.cfg.SWSize, uint64(seq))
 			q := randomSeq(s.cfg.SWSize, uint64(seq)+7)
 			return SW(t, p, q)
-		})
+		}
 	}
+}
+
+// Do submits one job of the given class and returns its future.
+func (s *Server) Do(class int, seq int64) *icilk.Future {
+	level, fn := s.job(class, seq)
+	return s.rt.Submit(level, fn)
+}
+
+// TryDo is Do gated by the attached admission controller: a shed job
+// returns a nil future and an error wrapping icilk.ErrShed. Without a
+// controller it behaves like Do.
+func (s *Server) TryDo(class int, seq int64) (*icilk.Future, error) {
+	level, fn := s.job(class, seq)
+	if s.adm != nil {
+		return s.adm.Submit(level, fn)
+	}
+	return s.rt.Submit(level, fn), nil
 }
 
 func randomMatrix(n int, seed uint64) []float64 {

@@ -1,0 +1,137 @@
+package memcached
+
+import (
+	"testing"
+	"time"
+
+	"icilk"
+	"icilk/internal/netsim"
+)
+
+// TestAdmissionShedTextProtocol: a request arriving while the
+// admission controller is at capacity is answered "SERVER_ERROR out
+// of capacity" and the connection stays usable for later requests.
+func TestAdmissionShedTextProtocol(t *testing.T) {
+	rt, err := icilk.New(icilk.Config{
+		Workers: 2,
+		Levels:  2,
+		Admission: &icilk.AdmissionConfig{
+			Policy:   icilk.ShedTailDrop,
+			QueueCap: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	store := NewStore(StoreConfig{})
+	srv := NewICilkServer(store, rt, ICilkConfig{
+		Admission:      rt.Admission(),
+		RequestTimeout: 10 * time.Millisecond,
+	})
+	defer srv.Close()
+	ln := netsim.NewListener()
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	ep, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	ls := &lineScanner{ep: ep}
+	send := func(req string) string {
+		t.Helper()
+		if _, err := ep.WriteString(req); err != nil {
+			t.Fatal(err)
+		}
+		line, err := ls.readLine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return line
+	}
+
+	// Occupy the single admission slot from outside, so the next
+	// request on the wire must shed.
+	tk, err := rt.Admission().Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := send("get nokey\r\n"); got != shedReplyLine {
+		t.Fatalf("overloaded get -> %q, want %q", got, shedReplyLine)
+	}
+	// A set's data block must be consumed even when shed, or framing
+	// would break for the next command.
+	if got := send("set k 0 0 5\r\nhello\r\n"); got != shedReplyLine {
+		t.Fatalf("overloaded set -> %q, want %q", got, shedReplyLine)
+	}
+	rt.Admission().Release(tk, false)
+
+	if got := send("set k 0 0 5\r\nhello\r\n"); got != "STORED" {
+		t.Fatalf("set after release -> %q, want STORED", got)
+	}
+	if got := send("get k\r\n"); got != "VALUE k 0 5" {
+		t.Fatalf("get after release -> %q", got)
+	}
+
+	s := rt.Admission().Stats()
+	if s.PerLevel[0].Shed != 2 {
+		t.Fatalf("shed count = %d, want 2", s.PerLevel[0].Shed)
+	}
+}
+
+// TestRunLoadClassifiesShed: the load generator counts admission
+// rejections as Shed (not Errors) and fills the goodput classification
+// when a deadline is configured.
+func TestRunLoadClassifiesShed(t *testing.T) {
+	rt, err := icilk.New(icilk.Config{
+		Workers: 2,
+		Levels:  2,
+		Admission: &icilk.AdmissionConfig{
+			Policy:   icilk.ShedTailDrop,
+			QueueCap: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	store := NewStore(StoreConfig{})
+	cfg := WorkloadConfig{
+		Connections: 2,
+		RPS:         2000,
+		Duration:    200 * time.Millisecond,
+		KeySpace:    128,
+		Deadline:    50 * time.Millisecond,
+	}
+	Preload(store, cfg)
+	srv := NewICilkServer(store, rt, ICilkConfig{Admission: rt.Admission()})
+	defer srv.Close()
+	ln := netsim.NewListener()
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	// Hold the only admission slot for the whole run: every request
+	// sheds, none errors.
+	tk, err := rt.Admission().Acquire(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLoad(ln, cfg)
+	rt.Admission().Release(tk, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (sheds are not errors)", res.Errors)
+	}
+	if res.Shed == 0 {
+		t.Fatal("no requests classified as shed")
+	}
+	if res.Good != 0 || res.Completed != 0 {
+		t.Fatalf("good=%d completed=%d under total shed, want 0/0", res.Good, res.Completed)
+	}
+}

@@ -35,6 +35,14 @@ const (
 	replyNonNumeric  = "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n"
 )
 
+// replyOutOfCapacity is the admission-control shed reply, preallocated
+// so the shed path writes without formatting or allocation;
+// shedReplyLine is the same reply as the client sees it (CRLF
+// stripped by the line reader).
+var replyOutOfCapacity = []byte("SERVER_ERROR out of capacity\r\n")
+
+const shedReplyLine = "SERVER_ERROR out of capacity"
+
 // ParseCommand parses a command line (without the trailing CRLF).
 // needData reports how many payload bytes must be read as a data
 // block before the command can execute (-1 when none). A nil Request

@@ -34,6 +34,17 @@ type ICilkConfig struct {
 	// request priority level) — typically Runtime.Metrics(), so one
 	// /metrics scrape covers scheduler and application together.
 	Metrics *metrics.Registry
+	// Admission, if non-nil, gates every request: a shed request is
+	// answered "SERVER_ERROR out of capacity" (text protocol) or a
+	// temporary-failure status (binary protocol) without executing,
+	// and the connection stays usable — exactly how real memcached
+	// reports transient server-side pressure.
+	Admission *icilk.AdmissionController
+	// RequestTimeout, with Admission set, classifies requests whose
+	// service time exceeds it as late in the admission accounting
+	// (they still receive their reply — a finished result is worth
+	// sending even if the deadline was missed).
+	RequestTimeout time.Duration
 }
 
 // ICilkServer is the task-parallel Memcached port (Section 3 of the
@@ -172,12 +183,27 @@ func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 			}
 			req.Data = data
 		}
+		// Admission decision only after the request is fully read:
+		// shedding before consuming the data block would desync the
+		// protocol framing.
+		var tk icilk.AdmissionTicket
+		if s.cfg.Admission != nil {
+			var aerr error
+			if tk, aerr = s.cfg.Admission.Acquire(s.cfg.RequestLevel); aerr != nil {
+				ep.Write(replyOutOfCapacity)
+				continue
+			}
+		}
 		t0 := time.Now()
 		reply, quit := Execute(s.store, req)
 		if len(reply) > 0 {
 			ep.Write(reply)
 		}
-		s.recordRequest(time.Since(t0))
+		d := time.Since(t0)
+		if s.cfg.Admission != nil {
+			s.cfg.Admission.Release(tk, s.cfg.RequestTimeout > 0 && d > s.cfg.RequestTimeout)
+		}
+		s.recordRequest(d)
 		if quit {
 			return
 		}
@@ -214,12 +240,24 @@ func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineRea
 				return
 			}
 		}
+		var tk icilk.AdmissionTicket
+		if s.cfg.Admission != nil {
+			var aerr error
+			if tk, aerr = s.cfg.Admission.Acquire(s.cfg.RequestLevel); aerr != nil {
+				ep.Write(binError(h.opcode, binStatusTmpFail, h.opaque, "out of capacity"))
+				continue
+			}
+		}
 		t0 := time.Now()
 		resp, quit := ExecuteBinary(s.store, h, body)
 		if resp != nil {
 			ep.Write(resp)
 		}
-		s.recordRequest(time.Since(t0))
+		d := time.Since(t0)
+		if s.cfg.Admission != nil {
+			s.cfg.Admission.Release(tk, s.cfg.RequestTimeout > 0 && d > s.cfg.RequestTimeout)
+		}
+		s.recordRequest(d)
 		if quit {
 			return
 		}

@@ -29,7 +29,9 @@ type Future struct {
 
 	mu      sync.Mutex
 	val     any
-	waiters []*dq // deques suspended on this future
+	errv    error         // completion error (cancellation cause); written before done
+	waiters []*dq         // deques suspended on this future
+	onDone  []func(error) // completion callbacks (see OnComplete)
 
 	// ch is closed at completion for external waiters. It is created
 	// lazily by the first Wait/WaitChan that needs it, so futures only
@@ -63,21 +65,32 @@ func (f *Future) Complete(v any) { f.complete(v) }
 
 // complete publishes the value and makes every waiting deque
 // resumable, re-enqueuing it into its level's pool.
-func (f *Future) complete(v any) {
+func (f *Future) complete(v any) { f.completeWith(v, nil) }
+
+// completeWith is complete carrying a completion error — the
+// cancellation cause of a task tree that was cut short by a deadline
+// or an explicit cancel (see Err).
+func (f *Future) completeWith(v any, err error) {
 	f.mu.Lock()
 	if f.done.Load() {
 		f.mu.Unlock()
 		panic("sched: future completed twice")
 	}
 	f.val = v
+	f.errv = err
 	f.done.Store(true)
 	ws := f.waiters
 	f.waiters = nil
+	cbs := f.onDone
+	f.onDone = nil
 	if f.ch != nil {
 		close(f.ch)
 	}
 	f.mu.Unlock()
 
+	for _, fn := range cbs {
+		fn(err)
+	}
 	for _, d := range ws {
 		needsEnqueue := d.MarkResumable()
 		f.rt.resumes.Add(1)
@@ -97,6 +110,37 @@ func (f *Future) TryGet() (any, bool) {
 // Done reports whether the future has completed.
 func (f *Future) Done() bool {
 	return f.done.Load()
+}
+
+// OnComplete registers fn to run exactly once with the future's
+// completion error, on every completion path — normal return,
+// cancellation unwind, and the queued-past-deadline case where the
+// routine's body never executes at all. An already-complete future
+// invokes fn immediately on the caller; otherwise fn runs on the
+// goroutine performing completion and must not block. The admission
+// subsystem uses this to release occupancy charges reliably.
+func (f *Future) OnComplete(fn func(error)) {
+	f.mu.Lock()
+	if f.done.Load() {
+		f.mu.Unlock()
+		fn(f.errv)
+		return
+	}
+	f.onDone = append(f.onDone, fn)
+	f.mu.Unlock()
+}
+
+// Err returns the completion error: nil while the future is pending
+// or after a normal completion; context.DeadlineExceeded or the
+// cancellation cause when the computing task tree was cancelled
+// before finishing (its value is then whatever the unwound routine
+// left behind — usually nil). The errv write is ordered before the
+// done store, so the lock-free read is safe.
+func (f *Future) Err() error {
+	if !f.done.Load() {
+		return nil
+	}
+	return f.errv
 }
 
 // Get returns the future's value, suspending the calling task's whole
@@ -174,7 +218,7 @@ func (rt *Runtime) submitNode(n *node, level int) {
 // Safe to call from any goroutine.
 func (rt *Runtime) SubmitFuture(level int, fn func(*Task) any) *Future {
 	if level < 0 || level >= rt.cfg.Levels {
-		panic(fmt.Sprintf("sched: SubmitFuture level %d out of range [0,%d)", level, rt.cfg.Levels))
+		panic(submitLevelError(level, rt.cfg.Levels))
 	}
 	f := newFuture(rt)
 	f.ownerLevel = level
@@ -192,4 +236,10 @@ func (rt *Runtime) SubmitFuture(level int, fn func(*Task) any) *Future {
 // fork-join computation to completion.
 func (rt *Runtime) Run(fn func(*Task) any) any {
 	return rt.SubmitFuture(0, fn).Wait()
+}
+
+// submitLevelError formats the panic message for an out-of-range
+// submission level (shared by every Submit variant).
+func submitLevelError(level, levels int) string {
+	return fmt.Sprintf("sched: SubmitFuture level %d out of range [0,%d)", level, levels)
 }

@@ -47,6 +47,13 @@ type Task struct {
 	// counter with a sentinel encoding).
 	joins atomic.Int64
 
+	// cancel is the shared cancellation state of this task's tree
+	// (nil for non-cancellable submissions — the common case, costing
+	// one nil check per scheduling point). cancelRoot marks the root
+	// task that owns the state's deadline timer.
+	cancel     *cancelState
+	cancelRoot bool
+
 	// fn is the task body for spawned tasks; futFn (with fut) for
 	// future routines. Exactly one is non-nil while the task runs;
 	// both are cleared at finish so a free-listed context pins no user
@@ -67,6 +74,10 @@ type Task struct {
 // the scheduler; the field writes happen-before the task body via the
 // resume-channel send.
 func (rt *Runtime) newNode(level int, parent *Task, fn func(*Task)) *node {
+	var cancel *cancelState
+	if parent != nil {
+		cancel = parent.cancel
+	}
 	if rt.free != nil {
 		select {
 		case n := <-rt.free:
@@ -74,12 +85,13 @@ func (rt *Runtime) newNode(level int, parent *Task, fn func(*Task)) *node {
 			t.level = level
 			t.parent = parent
 			t.fn = fn
+			t.cancel = cancel
 			return n
 		default:
 		}
 	}
 	n := &node{resume: make(chan *worker, 1)}
-	t := &Task{rt: rt, n: n, level: level, parent: parent, fn: fn}
+	t := &Task{rt: rt, n: n, level: level, parent: parent, fn: fn, cancel: cancel}
 	n.t = t
 	go t.loop()
 	return n
@@ -98,14 +110,37 @@ func (t *Task) loop() {
 			return
 		}
 		t.w = w
-		if t.futFn != nil {
-			t.fut.result = t.futFn(t)
-		} else {
-			t.fn(t)
-		}
+		t.runBody()
 		if !t.finish() {
 			return
 		}
+	}
+}
+
+// runBody executes the task function, absorbing the cancellation
+// unwind: a cancelled task panics with the canceledUnwind sentinel at
+// its next scheduling point, is recovered here, joins any outstanding
+// spawned children (they share the fired cancel state and unwind just
+// as promptly), and proceeds to the normal finish path with the
+// cancellation cause attached. A task already cancelled before its
+// first resume (deadline passed while queued) never runs its body at
+// all — the "abandon doomed work" fast path.
+func (t *Task) runBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(canceledUnwind); !ok {
+				panic(r)
+			}
+			t.joinOutstanding()
+		}
+	}()
+	if c := t.cancel; c != nil && c.fired.Load() {
+		return
+	}
+	if t.futFn != nil {
+		t.fut.result = t.futFn(t)
+	} else {
+		t.fn(t)
 	}
 }
 
@@ -138,8 +173,15 @@ func (t *Task) finish() bool {
 		// future (Wait returning) observes the drained count.
 		rt.inflight.Add(-1)
 	}
+	var cause error
+	if c := t.cancel; c != nil {
+		cause = c.Err()
+		if t.cancelRoot {
+			c.release()
+		}
+	}
 	if t.fut != nil {
-		t.fut.complete(t.fut.result)
+		t.fut.completeWith(t.fut.result, cause)
 	}
 
 	var ready *node
@@ -164,6 +206,8 @@ func (t *Task) finish() bool {
 	t.futFn = nil
 	t.fut = nil
 	t.inflightRoot = false
+	t.cancel = nil
+	t.cancelRoot = false
 	recycled := false
 	if rt.free != nil {
 		select {
@@ -185,6 +229,7 @@ func (t *Task) finish() bool {
 // variants the trigger is instead a changed quantum-boundary
 // assignment.
 func (t *Task) maybeSwitch() {
+	t.checkCancel()
 	t.w.clock.CountCheck()
 	target, ok := t.rt.pol.checkSwitch(t.w, t.level)
 	if !ok {
@@ -247,6 +292,9 @@ func (t *Task) FutCreate(level int, fn func(*Task) any) *Future {
 	child := t.rt.newNode(level, nil, nil)
 	child.t.fut = f
 	child.t.futFn = fn
+	// Future routines inherit the creator's cancellation: a cancelled
+	// request's helper futures are as doomed as the request itself.
+	child.t.cancel = t.cancel
 	if level == t.level {
 		d := t.w.active
 		needsEnqueue := d.PushBottom(t.n)

@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"icilk"
@@ -129,6 +130,165 @@ func RunOpenLoop(cfg OpenLoopConfig, submit SubmitFunc) *Result {
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	return res
+}
+
+// GoodputSubmitFunc injects one request of the given class through an
+// admission-controlled path. A non-nil error (wrapping
+// admission.ErrShed) means the request was rejected at the door and
+// never reached the scheduler; otherwise the future resolves when the
+// request finishes or is cancelled by its deadline.
+type GoodputSubmitFunc func(class, user int, seq int64) (*icilk.Future, error)
+
+// ClassGoodput counts one class's post-warmup request outcomes.
+type ClassGoodput struct {
+	Good int64 `json:"good"` // completed within the deadline
+	Late int64 `json:"late"` // completed past the deadline, or cancelled
+	Shed int64 `json:"shed"` // rejected by admission control
+}
+
+// Offered is the total post-warmup arrivals for the class.
+func (c ClassGoodput) Offered() int64 { return c.Good + c.Late + c.Shed }
+
+// GoodputFraction is Good / Offered (0 when nothing was offered).
+func (c ClassGoodput) GoodputFraction() float64 {
+	if off := c.Offered(); off > 0 {
+		return float64(c.Good) / float64(off)
+	}
+	return 0
+}
+
+// GoodputResult is one overload run's outcome: per-class goodput
+// classification plus the usual latency recorders (which only see
+// admitted, completed requests).
+type GoodputResult struct {
+	ClassNames []string
+	PerClass   []ClassGoodput
+	Latency    *stats.MultiRecorder // admitted requests only
+	Sent       int64
+	Elapsed    time.Duration
+}
+
+// Total sums the per-class counts.
+func (r *GoodputResult) Total() ClassGoodput {
+	var t ClassGoodput
+	for _, c := range r.PerClass {
+		t.Good += c.Good
+		t.Late += c.Late
+		t.Shed += c.Shed
+	}
+	return t
+}
+
+// goodputCounters is the atomic accumulation behind one class's
+// ClassGoodput (completion callbacks run concurrently).
+type goodputCounters struct {
+	good, late, shed atomic.Int64
+}
+
+// RunOpenLoopGoodput is RunOpenLoop for overload experiments: the same
+// Poisson arrival process, but each request is classified as good
+// (completed within deadline of its scheduled arrival), late
+// (completed after it, or cancelled), or shed (rejected by the submit
+// function). Requests scheduled during Warmup apply load but are not
+// counted.
+func RunOpenLoopGoodput(cfg OpenLoopConfig, deadline time.Duration, submit GoodputSubmitFunc) *GoodputResult {
+	if len(cfg.Mix) == 0 {
+		panic("workload: empty mix")
+	}
+	if deadline <= 0 {
+		panic("workload: goodput needs a deadline")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xfeed
+	}
+	names := cfg.ClassNames
+	if names == nil {
+		names = make([]string, len(cfg.Mix))
+		for i := range names {
+			names[i] = fmt.Sprintf("class%d", i)
+		}
+	}
+	var totalW float64
+	for _, w := range cfg.Mix {
+		totalW += w
+	}
+
+	res := &GoodputResult{
+		ClassNames: names,
+		PerClass:   make([]ClassGoodput, len(cfg.Mix)),
+		Latency:    stats.NewMultiRecorder(),
+	}
+	counters := make([]goodputCounters, len(cfg.Mix))
+	rng := xrand.New(cfg.Seed)
+	meanGap := time.Duration(float64(time.Second) / cfg.RPS)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	end := start.Add(cfg.Duration)
+	next := start
+	var seq int64
+	for {
+		gap := time.Duration(rng.Exp(float64(meanGap)))
+		next = next.Add(gap)
+		if next.After(end) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		x := rng.Float64() * totalW
+		class := 0
+		for i, w := range cfg.Mix {
+			if x < w {
+				class = i
+				break
+			}
+			x -= w
+		}
+		user := 0
+		if cfg.Spread > 0 {
+			user = rng.Intn(cfg.Spread)
+		}
+		seq++
+		scheduled := next
+		measured := scheduled.After(measureFrom)
+		f, err := submit(class, user, seq)
+		res.Sent++
+		if err != nil {
+			if measured {
+				counters[class].shed.Add(1)
+			}
+			continue
+		}
+		name := names[class]
+		c := &counters[class]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Wait()
+			if !measured {
+				return
+			}
+			lat := time.Since(scheduled)
+			if f.Err() == nil && lat <= deadline {
+				c.good.Add(1)
+			} else {
+				c.late.Add(1)
+			}
+			res.Latency.Record(name, lat)
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for i := range counters {
+		res.PerClass[i] = ClassGoodput{
+			Good: counters[i].good.Load(),
+			Late: counters[i].late.Load(),
+			Shed: counters[i].shed.Load(),
+		}
+	}
 	return res
 }
 

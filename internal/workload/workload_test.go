@@ -103,6 +103,60 @@ func TestPercentileUnder(t *testing.T) {
 	}
 }
 
+func TestRunOpenLoopGoodputClassifies(t *testing.T) {
+	rt, err := icilk.New(icilk.Config{
+		Workers: 2,
+		Levels:  2,
+		Admission: &icilk.AdmissionConfig{
+			Policy:   icilk.ShedTailDrop,
+			QueueCap: 64,
+			Timeout:  20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	adm := rt.Admission()
+
+	// Class 0 completes instantly (good); class 1 spins past its
+	// deadline (late). A blocked slot on level 0 forces some sheds.
+	res := RunOpenLoopGoodput(OpenLoopConfig{
+		RPS:      1500,
+		Duration: 300 * time.Millisecond,
+		Mix:      []float64{1, 1},
+		Seed:     11,
+	}, 10*time.Millisecond, func(class, user int, seq int64) (*icilk.Future, error) {
+		return adm.Submit(class, func(t *icilk.Task) any {
+			if class == 1 {
+				deadline := time.Now().Add(15 * time.Millisecond)
+				for time.Now().Before(deadline) {
+					t.Yield()
+				}
+			}
+			return nil
+		})
+	})
+
+	if res.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if res.PerClass[0].Good == 0 {
+		t.Fatal("fast class recorded no good completions")
+	}
+	if res.PerClass[1].Late == 0 {
+		t.Fatal("slow class recorded no late completions")
+	}
+	total := res.Total()
+	if got := total.Good + total.Late + total.Shed; got > res.Sent {
+		t.Fatalf("classified %d > sent %d", got, res.Sent)
+	}
+	if f := res.PerClass[0].GoodputFraction(); f <= res.PerClass[1].GoodputFraction() {
+		t.Fatalf("fast class goodput %.2f not above slow class %.2f",
+			f, res.PerClass[1].GoodputFraction())
+	}
+}
+
 func TestFindMaxRPS(t *testing.T) {
 	// Synthetic server: meets QoS up to 1000 RPS.
 	run := func(rps float64) *stats.Recorder {
@@ -122,5 +176,21 @@ func TestFindMaxRPS(t *testing.T) {
 	// Floor failure.
 	if got := FindMaxRPS(2000, 4000, 10, qos, run); got != 0 {
 		t.Fatalf("floor-failing search returned %v", got)
+	}
+}
+
+func TestFindMaxRPSMonotoneCurve(t *testing.T) {
+	// Synthetic monotone latency curve: p95 grows linearly with load,
+	// lat(rps) = rps microseconds. A 10ms limit puts the knee at
+	// exactly 10000 RPS; the search must converge to it.
+	run := func(rps float64) *stats.Recorder {
+		r := stats.NewRecorder(1)
+		r.Record(time.Duration(rps * float64(time.Microsecond)))
+		return r
+	}
+	qos := PercentileUnder(95, 10*time.Millisecond)
+	got := FindMaxRPS(100, 40000, 40, qos, run)
+	if got < 9990 || got > 10000 {
+		t.Fatalf("FindMaxRPS on monotone curve = %v, want ~10000", got)
 	}
 }

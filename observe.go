@@ -42,6 +42,26 @@ func (r *Runtime) Snapshot() SchedSnapshot { return r.rt.Snapshot() }
 // of short-lived runtimes (see Runtime.AttachAdmin).
 func NewAdminServer() *AdminServer { return admin.New() }
 
+// Health is the runtime state served by the admin endpoint /readyz.
+type Health = admin.Health
+
+// Health reports the runtime's readiness: Ready while the runtime is
+// open with its workers started; Degraded while admission control is
+// shedding 100% of arrivals (sustained — see
+// AdmissionConfig.DegradedAfter).
+func (r *Runtime) Health() Health {
+	h := Health{Ready: !r.closed.Load()}
+	if !h.Ready {
+		h.Detail = "runtime closed"
+		return h
+	}
+	if r.adm != nil && r.adm.Degraded() {
+		h.Degraded = true
+		h.Detail = "admission control shedding all arrivals"
+	}
+	return h
+}
+
 // AttachAdmin points s's endpoints at this runtime (atomically; an
 // admin server can be re-attached to a newer runtime at any time).
 func (r *Runtime) AttachAdmin(s *AdminServer) {
@@ -52,19 +72,24 @@ func (r *Runtime) AttachAdmin(s *AdminServer) {
 			l := r.rt.Trace()
 			return l.Snapshot(), l != nil
 		},
+		Health: r.Health,
 	})
 }
 
 // ServeAdmin starts an admin HTTP server bound to addr (host:port;
 // use port 0 for an ephemeral port, then Addr() to discover it) and
-// attaches this runtime to it. Close the returned server before or
-// after closing the runtime — the endpoints only read atomics, so
-// either order is safe.
+// attaches this runtime to it. The runtime tracks the server:
+// Runtime.Close shuts it down gracefully (http.Server.Shutdown —
+// in-flight scrapes drain), so callers need not close it themselves,
+// though closing it earlier is safe.
 func (r *Runtime) ServeAdmin(addr string) (*AdminServer, error) {
 	s := NewAdminServer()
 	r.AttachAdmin(s)
 	if err := s.Start(addr); err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
+	r.admins = append(r.admins, s)
+	r.mu.Unlock()
 	return s, nil
 }
