@@ -30,8 +30,16 @@
 //     the minimum queue sojourn (submit → first execution) over an
 //     interval; if even the *minimum* stayed above the target the
 //     level's standing queue is too long and new arrivals are shed
-//     until a sojourn below target is observed. Tail-drop capacity
-//     remains as a backstop.
+//     until a sojourn below target is observed. While shedding, one
+//     arrival per interval is still admitted as a probe: sojourns are
+//     only observed for admitted requests, so the probe is what lets
+//     the estimator see the queue drain and reopen the level (without
+//     it a transient overload would latch the level at 100% shed
+//     forever). Sojourn samples come from the Submit path (queue wait
+//     until first execution) and from AcquireSince (caller-measured
+//     arrival-to-admission wait); plain Acquire observes no wait and
+//     feeds nothing, so an Acquire-only level falls back to the
+//     tail-drop capacity backstop.
 //
 // The controller is deliberately scheduler-agnostic: it talks to the
 // runtime only through the Submitter interface (satisfied by
@@ -136,7 +144,10 @@ type Config struct {
 	Timeout time.Duration
 	// PerLevelTimeout overrides Timeout per level when non-nil.
 	PerLevelTimeout []time.Duration
-	// CoDelTarget is the acceptable minimum sojourn. Default 5ms.
+	// CoDelTarget is the acceptable minimum queue sojourn. Sojourns
+	// are observed on the Submit path (submission to first execution)
+	// and by AcquireSince; plain Acquire observes no wait and does not
+	// sample (see Acquire). Default 5ms.
 	CoDelTarget time.Duration
 	// CoDelInterval is the sojourn observation window. Default 100ms.
 	CoDelInterval time.Duration
@@ -220,11 +231,42 @@ func (cs *codelState) sample(nowNS, sojournNS int64, target, interval time.Durat
 	if !cs.intervalEnd.CompareAndSwap(end, nowNS+int64(interval)) {
 		return // another sampler rolled the interval
 	}
+	cs.evaluate(target)
+}
+
+// evaluate closes the interval just rolled: harvest its minimum
+// sojourn and set the dropping state from it. A full interval whose
+// *minimum* sojourn stayed above target means a standing queue: start
+// (or keep) shedding. An interval with an under-target sojourn — or
+// with no sojourns at all, meaning nothing queued — stops it.
+func (cs *codelState) evaluate(target time.Duration) {
 	minS := cs.minSojourn.Swap(noSojourn)
-	// A full interval whose *minimum* sojourn stayed above target
-	// means a standing queue: start (or keep) shedding. Any interval
-	// with an under-target sojourn stops it.
 	cs.dropping.Store(minS != noSojourn && minS > int64(target))
+}
+
+// shouldShed is the admission decision for one arrival while the
+// policy is CoDel. Shedding every arrival while dropping would latch
+// the level shut: sojourns are sampled only for admitted requests, so
+// once the in-flight backlog drains no sample could ever clear
+// dropping again. Instead, the first arrival after the interval
+// expires is admitted as a probe (CoDel's spaced-drop spirit, dual
+// form): claiming the probe slot rolls the interval and re-evaluates
+// dropping from whatever the expired interval observed — a sample-free
+// or under-target interval reopens the level, an over-target one keeps
+// it shedding while the probe refreshes the estimator.
+func (cs *codelState) shouldShed(nowNS int64, target, interval time.Duration) bool {
+	if !cs.dropping.Load() {
+		return false
+	}
+	end := cs.intervalEnd.Load()
+	if nowNS < end {
+		return true
+	}
+	if !cs.intervalEnd.CompareAndSwap(end, nowNS+int64(interval)) {
+		return true // a concurrent arrival claimed this interval's probe
+	}
+	cs.evaluate(target)
+	return false
 }
 
 // Controller is the admission gate in front of one runtime.
@@ -319,7 +361,7 @@ func (c *Controller) admit(l int) error {
 			return c.shed(ls, ErrPriorityShed)
 		}
 	case CoDel:
-		if ls.codel.dropping.Load() {
+		if ls.codel.shouldShed(time.Now().UnixNano(), c.cfg.CoDelTarget, c.cfg.CoDelInterval) {
 			ls.occ.Add(-1)
 			c.total.Add(-1)
 			return c.shed(ls, ErrSojourn)
@@ -382,11 +424,10 @@ func (c *Controller) Submit(l int, fn func(*sched.Task) any) (*sched.Future, err
 }
 
 // Ticket is the occupancy charge of an inline request admitted with
-// Acquire. It is a value type: the acquire/release pair allocates
-// nothing.
+// Acquire or AcquireSince. It is a value type: the acquire/release
+// pair allocates nothing.
 type Ticket struct {
 	level int
-	enq   time.Time
 }
 
 // Acquire admits one inline request (one a caller executes on its own
@@ -394,25 +435,42 @@ type Ticket struct {
 // inside a connection routine). The caller must Release the ticket
 // when the request finishes. The shed path is identical to Submit's:
 // preallocated error, no allocation.
+//
+// Acquire observes no queue wait, so it feeds nothing to the CoDel
+// sojourn estimator: service time is not queueing delay, and sampling
+// it would trip dropping on any level whose normal request cost
+// exceeds CoDelTarget even with zero backlog. A caller that knows
+// when the request actually arrived (e.g. when its bytes were read
+// off the wire) should use AcquireSince so real queueing is visible
+// to CoDel; under plain Acquire alone the CoDel policy degenerates to
+// the tail-drop capacity backstop.
 func (c *Controller) Acquire(l int) (Ticket, error) {
 	if err := c.admit(l); err != nil {
 		return Ticket{}, err
 	}
-	return Ticket{level: l, enq: time.Now()}, nil
+	return Ticket{level: l}, nil
+}
+
+// AcquireSince is Acquire for callers that can timestamp the
+// request's arrival: the wait from arrival to admission is a genuine
+// queue sojourn and is fed to the CoDel estimator. Under the other
+// policies it behaves exactly like Acquire.
+func (c *Controller) AcquireSince(l int, arrival time.Time) (Ticket, error) {
+	if err := c.admit(l); err != nil {
+		return Ticket{}, err
+	}
+	if c.cfg.Policy == CoDel {
+		now := time.Now()
+		c.lvl[l].codel.sample(now.UnixNano(), now.Sub(arrival).Nanoseconds(),
+			c.cfg.CoDelTarget, c.cfg.CoDelInterval)
+	}
+	return Ticket{level: l}, nil
 }
 
 // Release completes an inline request. late reports that the request
 // exceeded its deadline (the caller enforces inline deadlines, since
 // the work ran on the caller's own task).
 func (c *Controller) Release(tk Ticket, late bool) {
-	if c.cfg.Policy == CoDel {
-		now := time.Now()
-		// Inline requests never queue in the scheduler, but their
-		// service time is the sojourn the *next* request at this level
-		// experiences on a busy connection; feed it to the estimator.
-		c.lvl[tk.level].codel.sample(now.UnixNano(), now.Sub(tk.enq).Nanoseconds(),
-			c.cfg.CoDelTarget, c.cfg.CoDelInterval)
-	}
 	c.release(tk.level, late)
 }
 

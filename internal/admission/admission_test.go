@@ -141,17 +141,153 @@ func TestCoDelControllerSheds(t *testing.T) {
 	rt := newRT(t, 1, 1)
 	c := newCtl(t, rt, Config{Policy: CoDel, QueueCap: 64})
 	// Force the dropping state directly (the estimator has its own
-	// test above) and check the admission decision.
-	c.lvl[0].codel.dropping.Store(true)
+	// tests above) with the interval still open: arrivals are shed.
+	cs := &c.lvl[0].codel
+	cs.dropping.Store(true)
+	cs.intervalEnd.Store(time.Now().Add(time.Hour).UnixNano())
 	if _, err := c.Acquire(0); !errors.Is(err, ErrSojourn) {
 		t.Fatalf("Acquire err = %v, want ErrSojourn", err)
 	}
-	c.lvl[0].codel.dropping.Store(false)
+	// Once the interval is stale — the latch scenario: the backlog
+	// drained, nothing was admitted, so no sample ever rolled it — the
+	// next arrival must be admitted as a probe, and the sample-free
+	// interval must clear dropping instead of shedding forever.
+	cs.intervalEnd.Store(1)
 	tk, err := c.Acquire(0)
 	if err != nil {
-		t.Fatalf("Acquire err = %v, want admit", err)
+		t.Fatalf("probe Acquire err = %v, want admit", err)
+	}
+	if cs.dropping.Load() {
+		t.Fatal("dropping not cleared by a sample-free interval")
 	}
 	c.Release(tk, false)
+	tk, err = c.Acquire(0)
+	if err != nil {
+		t.Fatalf("Acquire after recovery err = %v, want admit", err)
+	}
+	c.Release(tk, false)
+}
+
+// TestCoDelProbeUnlatchesAfterDrain is the regression test for the
+// shed latch: sojourns are sampled only for admitted requests, so a
+// dropping level with its backlog drained produces no samples and —
+// without the probe path — would shed 100% of arrivals until process
+// restart.
+func TestCoDelProbeUnlatchesAfterDrain(t *testing.T) {
+	var cs codelState
+	cs.init()
+	target := 5 * time.Millisecond
+	interval := 100 * time.Millisecond
+	ms := int64(time.Millisecond)
+	now := int64(1_000_000_000)
+
+	cs.sample(now, 20*ms, target, interval)        // opens the interval
+	cs.sample(now+101*ms, 30*ms, target, interval) // rolls it: dropping on
+	if !cs.dropping.Load() {
+		t.Fatal("not dropping after a full over-target interval")
+	}
+	// Backlog drains; no further samples arrive. Long after the
+	// interval expired, an arrival must be admitted as a probe and the
+	// sample-free interval must clear dropping.
+	if cs.shouldShed(now+500*ms, target, interval) {
+		t.Fatal("arrival after a sample-free interval was shed")
+	}
+	if cs.dropping.Load() {
+		t.Fatal("dropping still latched after a sample-free interval")
+	}
+	// The level stays open afterwards.
+	if cs.shouldShed(now+501*ms, target, interval) {
+		t.Fatal("arrival shed after dropping cleared")
+	}
+}
+
+// TestCoDelProbeUnderSustainedOverload: while the queue is genuinely
+// standing, the probe keeps the estimator fed without reopening the
+// level — one arrival per interval is admitted, the rest shed.
+func TestCoDelProbeUnderSustainedOverload(t *testing.T) {
+	var cs codelState
+	cs.init()
+	target := 5 * time.Millisecond
+	interval := 100 * time.Millisecond
+	ms := int64(time.Millisecond)
+	now := int64(1_000_000_000)
+
+	cs.sample(now, 20*ms, target, interval)        // opens [now, now+100ms)
+	cs.sample(now+101*ms, 30*ms, target, interval) // rolls: dropping on, end now+201ms
+	if !cs.dropping.Load() {
+		t.Fatal("not dropping after a full over-target interval")
+	}
+	// Inside the open interval every arrival sheds.
+	if !cs.shouldShed(now+150*ms, target, interval) {
+		t.Fatal("arrival inside the interval was not shed")
+	}
+	// An admitted probe observes a still-over-target sojourn.
+	cs.sample(now+150*ms, 40*ms, target, interval)
+	// The interval expires: the first arrival past it is the probe...
+	if cs.shouldShed(now+250*ms, target, interval) {
+		t.Fatal("probe arrival was shed")
+	}
+	// ...and the over-target minimum keeps dropping latched, so
+	// followers in the fresh interval shed again.
+	if !cs.dropping.Load() {
+		t.Fatal("dropping cleared despite sustained over-target sojourns")
+	}
+	if !cs.shouldShed(now+251*ms, target, interval) {
+		t.Fatal("follower admitted while still dropping")
+	}
+}
+
+// TestInlineServiceTimeDoesNotTripCoDel: Release used to feed raw
+// service time into the sojourn estimator, so any level whose normal
+// per-request cost exceeded CoDelTarget tripped dropping with zero
+// queueing. Inline tickets observe no wait and must leave the
+// estimator alone.
+func TestInlineServiceTimeDoesNotTripCoDel(t *testing.T) {
+	rt := newRT(t, 1, 1)
+	c := newCtl(t, rt, Config{
+		Policy:        CoDel,
+		QueueCap:      64,
+		CoDelTarget:   time.Microsecond, // far below the service time below
+		CoDelInterval: time.Millisecond,
+	})
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		tk, err := c.Acquire(0)
+		if err != nil {
+			t.Fatalf("Acquire shed on an unqueued level: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond) // "service" far above target
+		c.Release(tk, false)
+	}
+	if c.lvl[0].codel.dropping.Load() {
+		t.Fatal("dropping tripped by inline service time")
+	}
+}
+
+// TestAcquireSinceFeedsSojourn: callers that timestamp request
+// arrival give CoDel a real queueing signal on the inline path.
+func TestAcquireSinceFeedsSojourn(t *testing.T) {
+	rt := newRT(t, 1, 1)
+	c := newCtl(t, rt, Config{
+		Policy:        CoDel,
+		QueueCap:      64,
+		CoDelTarget:   time.Millisecond,
+		CoDelInterval: 5 * time.Millisecond,
+	})
+	cs := &c.lvl[0].codel
+	deadline := time.Now().Add(2 * time.Second)
+	for !cs.dropping.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("sustained over-target arrival waits never tripped dropping")
+		}
+		tk, err := c.AcquireSince(0, time.Now().Add(-50*time.Millisecond))
+		if err == nil {
+			c.Release(tk, false)
+		} else if !errors.Is(err, ErrSojourn) {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // TestShedPathDoesNotAllocate is an acceptance criterion: a rejected
@@ -180,6 +316,19 @@ func TestShedPathDoesNotAllocate(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Fatalf("shed Acquire allocates %.1f objects/op, want 0", n)
+	}
+
+	// The CoDel shed path (dropping latched, interval open) reads the
+	// clock but must not allocate either.
+	c2 := newCtl(t, rt, Config{Policy: CoDel, QueueCap: 1})
+	c2.lvl[0].codel.dropping.Store(true)
+	c2.lvl[0].codel.intervalEnd.Store(time.Now().Add(time.Hour).UnixNano())
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := c2.Acquire(0); !errors.Is(err, ErrSojourn) {
+			t.Fatal("expected sojourn shed")
+		}
+	}); n != 0 {
+		t.Fatalf("CoDel shed Acquire allocates %.1f objects/op, want 0", n)
 	}
 }
 

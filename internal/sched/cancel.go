@@ -138,6 +138,12 @@ func (rt *Runtime) submitCancelable(level int, c *cancelState, fn func(*Task) an
 // tree is cancelled and unwinds at its next scheduling points, and
 // the future completes with Err() == context.DeadlineExceeded. A
 // non-positive timeout submits without a deadline.
+//
+// Because cancellation is cooperative, the deadline does not bound
+// time spent suspended in Get on an unfinished (I/O) future: the task
+// stays parked until that future completes and unwinds immediately on
+// resume (see Future.Get). Its admission occupancy remains charged
+// for the duration of the I/O wait.
 func (rt *Runtime) SubmitFutureWithDeadline(level int, timeout time.Duration, fn func(*Task) any) *Future {
 	if timeout <= 0 {
 		return rt.SubmitFuture(level, fn)

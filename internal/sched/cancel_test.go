@@ -168,6 +168,32 @@ func TestTaskErrCooperative(t *testing.T) {
 	}
 }
 
+// TestDeadlineUnwindsOnIOResume: a deadline cannot wake a task
+// suspended in Get on an I/O future (completion is the only wake-up),
+// but once the I/O completes the resumed task must observe the fired
+// cancellation immediately — before running its continuation — rather
+// than executing doomed work until its next scheduling point.
+func TestDeadlineUnwindsOnIOResume(t *testing.T) {
+	rt := newTestRT(t, 2, 1)
+	iof := rt.NewIOFuture()
+	var continued atomic.Bool
+	f := rt.SubmitFutureWithDeadline(0, 5*time.Millisecond, func(task *Task) any {
+		v := iof.Get(task)
+		continued.Store(true)
+		return v
+	})
+	time.Sleep(30 * time.Millisecond) // deadline fires during the I/O wait
+	iof.Complete("late io")
+	f.Wait()
+	if continued.Load() {
+		t.Fatal("continuation ran after the deadline fired during an I/O wait")
+	}
+	if err := f.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want DeadlineExceeded", err)
+	}
+	waitInflightZero(t, rt)
+}
+
 // TestFutCreateInheritsCancel: helper futures created by a cancelled
 // request unwind with it.
 func TestFutCreateInheritsCancel(t *testing.T) {

@@ -147,6 +147,12 @@ func (f *Future) Err() error {
 // deque if the future is not yet complete (proactive work stealing's
 // failed-get rule: "the worker suspends the deque and tries to find
 // work via work stealing").
+//
+// Cancellation is cooperative, so a deadline does not bound the wait
+// itself: a task suspended here can only be woken by the future
+// completing. A cancellation that fired during the wait is observed
+// the moment the task resumes, unwinding it before the continuation
+// runs.
 func (f *Future) Get(t *Task) any {
 	t.maybeSwitch()
 	t.rt.checkGetInversion(t, f)
@@ -174,7 +180,12 @@ func (f *Future) Get(t *Task) any {
 	t.rt.pol.onSuspend(t.w, d)
 	t.parkAfter(yieldMsg{kind: yGetWait})
 
-	// Resumed: the future must be complete.
+	// Resumed: the future must be complete. A deadline that fired
+	// while we were suspended could not interrupt the wait (completion
+	// is the only wake-up), so re-check cancellation now instead of
+	// letting a doomed task run its continuation until the next
+	// scheduling point.
+	t.checkCancel()
 	return f.val
 }
 

@@ -50,9 +50,15 @@ type Task struct {
 	// cancel is the shared cancellation state of this task's tree
 	// (nil for non-cancellable submissions — the common case, costing
 	// one nil check per scheduling point). cancelRoot marks the root
-	// task that owns the state's deadline timer.
+	// task that owns the state's deadline timer. cause is the
+	// cancellation cause snapshotted by runBody at body exit; finish
+	// attaches it to the future. Snapshotting at exit rather than
+	// re-reading the cancel state in finish narrows the window in
+	// which a deadline firing just after a successful return would
+	// discard the computed value.
 	cancel     *cancelState
 	cancelRoot bool
+	cause      error
 
 	// fn is the task body for spawned tasks; futFn (with fut) for
 	// future routines. Exactly one is non-nil while the task runs;
@@ -132,15 +138,23 @@ func (t *Task) runBody() {
 				panic(r)
 			}
 			t.joinOutstanding()
+			t.cause = t.cancel.Err()
 		}
 	}()
 	if c := t.cancel; c != nil && c.fired.Load() {
+		t.cause = c.Err()
 		return
 	}
 	if t.futFn != nil {
 		t.fut.result = t.futFn(t)
 	} else {
 		t.fn(t)
+	}
+	if c := t.cancel; c != nil && c.fired.Load() {
+		// Fired during the body, but the task returned gracefully
+		// anyway (a cooperative Err() check): the request missed its
+		// deadline either way, so the cause rides along with the value.
+		t.cause = c.Err()
 	}
 }
 
@@ -173,12 +187,12 @@ func (t *Task) finish() bool {
 		// future (Wait returning) observes the drained count.
 		rt.inflight.Add(-1)
 	}
-	var cause error
-	if c := t.cancel; c != nil {
-		cause = c.Err()
-		if t.cancelRoot {
-			c.release()
-		}
+	// cause was snapshotted by runBody at body exit — deliberately not
+	// re-read here, so a deadline firing after a successful return
+	// cannot retroactively mark the completed result as failed.
+	cause := t.cause
+	if c := t.cancel; c != nil && t.cancelRoot {
+		c.release()
 	}
 	if t.fut != nil {
 		t.fut.completeWith(t.fut.result, cause)
@@ -208,6 +222,7 @@ func (t *Task) finish() bool {
 	t.inflightRoot = false
 	t.cancel = nil
 	t.cancelRoot = false
+	t.cause = nil
 	recycled := false
 	if rt.free != nil {
 		select {
