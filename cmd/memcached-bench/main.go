@@ -6,6 +6,11 @@
 //	          (Adaptive I-Cilk).
 //	Figure 3: p95 and p99 latency vs RPS for pthread, Prompt, and all
 //	          Adaptive variants (each best-of-parameter-sweep).
+//	Figure 4: data-path saturation — offered load far above capacity,
+//	          so achieved RPS measures the byte-path ceiling, reported
+//	          with the process-wide allocation profile (allocs/op,
+//	          bytes/op). With -label/-o the measurement is appended to
+//	          a JSON trajectory file (BENCH_datapath.json).
 //
 // RPS values are scaled for the host this runs on; pass -rps to
 // override. The paper's qualitative expectations are printed beside
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +31,10 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 3, "figure to regenerate (1, 2, or 3)")
-	rpsList := flag.String("rps", "500,1000,1500,2000", "comma-separated RPS points")
+	fig := flag.Int("fig", 3, "figure to regenerate (1, 2, 3, or 4)")
+	rpsList := flag.String("rps", "500,1000,1500,2000", "comma-separated RPS points (fig 4 default: one saturating point)")
+	label := flag.String("label", "", "fig 4: JSON trajectory entry label")
+	out := flag.String("o", "", "fig 4: JSON trajectory file to append to (stdout table only if empty)")
 	dur := flag.Duration("dur", 1500*time.Millisecond, "measurement window per point")
 	conns := flag.Int("conns", 64, "client connections")
 	workers := flag.Int("workers", 4, "server worker threads")
@@ -45,6 +53,16 @@ func main() {
 		defer adm.Close()
 		bench.OnRuntime = func(rt *icilk.Runtime) { rt.AttachAdmin(adm) }
 		fmt.Printf("# admin endpoint on http://%s\n", adm.Addr())
+	}
+
+	if *fig == 4 {
+		// Saturating default: the point of fig 4 is the ceiling, not a
+		// latency curve.
+		rpsSet := false
+		flag.Visit(func(f *flag.Flag) { rpsSet = rpsSet || f.Name == "rps" })
+		if !rpsSet {
+			*rpsList = "300000"
+		}
 	}
 
 	var rps []float64
@@ -74,8 +92,10 @@ func main() {
 		fig2(rps, sweep, opt)
 	case 3:
 		fig3(rps, sweep, opt)
+	case 4:
+		fig4(rps, opt, *label, *out)
 	default:
-		fmt.Fprintln(os.Stderr, "-fig must be 1, 2, or 3")
+		fmt.Fprintln(os.Stderr, "-fig must be 1, 2, 3, or 4")
 		os.Exit(2)
 	}
 }
@@ -117,6 +137,91 @@ func fig2(rps []float64, sweep []icilk.AdaptiveParams, opt func(float64) bench.M
 		d0, d1 := run.AvgNonEmptyDeques[0], run.AvgNonEmptyDeques[1]
 		fmt.Printf("%10.0f %16.1f %16.1f\n", r, d0, d1)
 	}
+}
+
+// datapathEntry is one fig-4 measurement in the committed trajectory
+// (BENCH_datapath.json): newest entry last, one result per server.
+type datapathEntry struct {
+	Label   string                    `json:"label"`
+	Date    string                    `json:"date"`
+	Config  string                    `json:"config"`
+	Results map[string]datapathResult `json:"results"`
+}
+
+type datapathResult struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+}
+
+type datapathFile struct {
+	Comment string          `json:"_comment"`
+	Entries []datapathEntry `json:"entries"`
+}
+
+const datapathComment = "Memcached data-path trajectory (saturation throughput + allocation profile); append entries with: go run ./cmd/memcached-bench -fig 4 -label <change> -o BENCH_datapath.json"
+
+func fig4(rps []float64, opt func(float64) bench.MemcachedOptions, label, out string) {
+	fmt.Println("# Figure 4: data-path saturation throughput and allocation profile")
+	fmt.Println("# Offered load is far above capacity; achieved RPS is the byte-path ceiling.")
+	fmt.Println("# allocs/op and bytes/op are process-wide (client + server share the process).")
+	entry := datapathEntry{
+		Label:   label,
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Results: make(map[string]datapathResult),
+	}
+	fmt.Printf("%10s %-10s %12s %12s %12s %10s %10s\n",
+		"RPS", "server", "achieved", "allocs/op", "bytes/op", "p50", "p99")
+	for _, r := range rps {
+		o := opt(r)
+		entry.Config = fmt.Sprintf("conns=%d workers=%d dur=%s value=64B get=0.9",
+			o.Connections, o.Workers, o.Duration)
+		pt, err := bench.RunMemcachedPthread(o)
+		check(err)
+		pr, err := bench.RunMemcachedICilk(icilk.Prompt, icilk.AdaptiveParams{}, o)
+		check(err)
+		for _, row := range []struct {
+			name string
+			run  *bench.Run
+		}{{"pthread", pt}, {"prompt", pr}} {
+			achieved := float64(row.run.Completed) / row.run.Elapsed.Seconds()
+			fmt.Printf("%10.0f %-10s %12.0f %12.1f %12.0f %s %s\n",
+				r, row.name, achieved, row.run.AllocsPerOp, row.run.BytesPerOp,
+				bench.Fmt(row.run.Latency.Percentile(50)),
+				bench.Fmt(row.run.Latency.Percentile(99)))
+			entry.Results[row.name] = datapathResult{
+				OfferedRPS:  r,
+				AchievedRPS: achieved,
+				AllocsPerOp: row.run.AllocsPerOp,
+				BytesPerOp:  row.run.BytesPerOp,
+				P50Us:       float64(row.run.Latency.Percentile(50)) / float64(time.Microsecond),
+				P99Us:       float64(row.run.Latency.Percentile(99)) / float64(time.Microsecond),
+			}
+		}
+	}
+	if out == "" {
+		return
+	}
+	if label == "" {
+		fmt.Fprintln(os.Stderr, "-o requires -label (what is being measured?)")
+		os.Exit(2)
+	}
+	var file datapathFile
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	file.Comment = datapathComment
+	file.Entries = append(file.Entries, entry)
+	data, err := json.MarshalIndent(&file, "", "  ")
+	check(err)
+	check(os.WriteFile(out, append(data, '\n'), 0o644))
+	fmt.Printf("# appended %q to %s\n", label, out)
 }
 
 func fig3(rps []float64, sweep []icilk.AdaptiveParams, opt func(float64) bench.MemcachedOptions) {

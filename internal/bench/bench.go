@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"icilk"
@@ -84,6 +85,25 @@ type Run struct {
 	Elapsed           time.Duration
 	Completed         int64
 	Errors            int64
+	// AllocsPerOp / BytesPerOp are process-wide heap allocation counts
+	// per completed request over the whole load run (client and server
+	// combined — both sides of the byte path are in this process).
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// measureAllocs wraps fn with runtime.MemStats sampling and charges
+// the allocation deltas to run at completed-request granularity.
+func measureAllocs(completed func() int64, fn func() error) (allocsPerOp, bytesPerOp float64, err error) {
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	err = fn()
+	runtime.ReadMemStats(&ms1)
+	if n := completed(); n > 0 {
+		allocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
+		bytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n)
+	}
+	return allocsPerOp, bytesPerOp, err
 }
 
 // MemcachedOptions configures a Memcached load point.
@@ -202,7 +222,15 @@ func RunMemcachedICilk(kind icilk.Scheduler, params icilk.AdaptiveParams, opt Me
 		samplers[l].Start()
 	}
 
-	res, err := memcached.RunLoad(ln, wcfg)
+	var res *memcached.LoadResult
+	aOp, bOp, err := measureAllocs(
+		func() int64 {
+			if res == nil {
+				return 0
+			}
+			return res.Completed
+		},
+		func() (err error) { res, err = memcached.RunLoad(ln, wcfg); return err })
 	for _, s := range samplers {
 		s.Stop()
 	}
@@ -212,6 +240,7 @@ func RunMemcachedICilk(kind icilk.Scheduler, params icilk.AdaptiveParams, opt Me
 	run := &Run{
 		Params: params, Latency: res.Latency, Waste: rt.WasteReport(),
 		Elapsed: res.Elapsed, Completed: res.Completed, Errors: res.Errors,
+		AllocsPerOp: aOp, BytesPerOp: bOp,
 	}
 	for _, s := range samplers {
 		run.AvgNonEmptyDeques = append(run.AvgNonEmptyDeques, s.Mean())
@@ -239,13 +268,22 @@ func RunMemcachedPthread(opt MemcachedOptions) (*Run, error) {
 	go srv.Serve(ln)
 	defer func() { ln.Close(); srv.Close() }()
 
-	res, err := memcached.RunLoad(ln, wcfg)
+	var res *memcached.LoadResult
+	aOp, bOp, err := measureAllocs(
+		func() int64 {
+			if res == nil {
+				return 0
+			}
+			return res.Completed
+		},
+		func() (err error) { res, err = memcached.RunLoad(ln, wcfg); return err })
 	if err != nil {
 		return nil, err
 	}
 	return &Run{
 		Latency: res.Latency, Elapsed: res.Elapsed,
 		Completed: res.Completed, Errors: res.Errors,
+		AllocsPerOp: aOp, BytesPerOp: bOp,
 	}, nil
 }
 

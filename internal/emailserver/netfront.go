@@ -1,14 +1,13 @@
 package emailserver
 
 import (
-	"fmt"
 	"strconv"
-	"strings"
 	"time"
 
 	"icilk"
 	"icilk/internal/metrics"
 	"icilk/internal/netsim"
+	"icilk/internal/wire"
 )
 
 // Network frontend: the paper's email server receives its operations
@@ -114,80 +113,77 @@ func (nf *NetFrontend) Serve(ln *netsim.Listener) {
 
 func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 	defer ep.Close()
+	ep.BufferWrites()
 	lr := nf.rt.NewLineReader(ep)
+	var (
+		fields  [][]byte // reused split scratch
+		numbuf  []byte   // reused "OK <n>" encoding scratch
+		t0      time.Time
+		f       *icilk.Future
+		aerr    error
+		recOp   string
+		withVal bool
+	)
 	for {
-		line, err := lr.ReadLine(t)
+		line, err := lr.ReadLineBytes(t)
 		if err != nil {
 			return
 		}
-		fields := strings.Fields(line)
+		fields = wire.Fields(fields[:0], line)
 		if len(fields) == 0 {
 			continue
 		}
-		switch strings.ToUpper(fields[0]) {
+		upperASCII(fields[0])
+		switch string(fields[0]) {
 		case "SEND":
 			if len(fields) != 5 {
 				ep.WriteString("ERR usage: SEND <user> <from> <subject> <bodylen>\r\n")
 				continue
 			}
-			user, err1 := strconv.Atoi(fields[1])
-			bodyLen, err2 := strconv.Atoi(fields[4])
-			if err1 != nil || err2 != nil || bodyLen < 0 {
+			user, ok1 := wire.ParseInt(fields[1], 64)
+			bodyLen, ok2 := wire.ParseInt(fields[4], 64)
+			if !ok1 || !ok2 || bodyLen < 0 {
 				ep.WriteString("ERR bad arguments\r\n")
 				continue
 			}
-			body, err := lr.ReadBlock(t, bodyLen)
+			// The message is retained by the mailbox: from/subject
+			// become strings and the body is read as a fresh copy
+			// (ReadBlock, not the view variant).
+			from, subject := string(fields[2]), string(fields[3])
+			body, err := lr.ReadBlock(t, int(bodyLen))
 			if err != nil {
 				return
 			}
-			t0 := time.Now()
-			f, aerr := nf.srv.TrySend(user, fields[2], fields[3], body)
-			if _, ok := nf.await(t, ep, f, aerr); !ok {
-				continue
-			}
-			nf.record("send", t0)
-			ep.WriteString("OK\r\n")
+			t0 = time.Now()
+			f, aerr = nf.srv.TrySend(int(user), from, subject, body)
+			recOp, withVal = "send", false
 
 		case "SORT":
 			user, ok := parseUser(ep, fields)
 			if !ok {
 				continue
 			}
-			t0 := time.Now()
-			f, aerr := nf.srv.TrySort(user)
-			if _, ok := nf.await(t, ep, f, aerr); !ok {
-				continue
-			}
-			nf.record("sort", t0)
-			ep.WriteString("OK\r\n")
+			t0 = time.Now()
+			f, aerr = nf.srv.TrySort(user)
+			recOp, withVal = "sort", false
 
 		case "COMPRESS":
 			user, ok := parseUser(ep, fields)
 			if !ok {
 				continue
 			}
-			t0 := time.Now()
-			f, aerr := nf.srv.TryCompress(user)
-			v, ok := nf.await(t, ep, f, aerr)
-			if !ok {
-				continue
-			}
-			nf.record("comp", t0)
-			fmt.Fprintf(ep, "OK %d\r\n", v.(int))
+			t0 = time.Now()
+			f, aerr = nf.srv.TryCompress(user)
+			recOp, withVal = "comp", true
 
 		case "PRINT":
 			user, ok := parseUser(ep, fields)
 			if !ok {
 				continue
 			}
-			t0 := time.Now()
-			f, aerr := nf.srv.TryPrint(user)
-			v, ok := nf.await(t, ep, f, aerr)
-			if !ok {
-				continue
-			}
-			nf.record("print", t0)
-			fmt.Fprintf(ep, "OK %d\r\n", v.(int))
+			t0 = time.Now()
+			f, aerr = nf.srv.TryPrint(user)
+			recOp, withVal = "print", true
 
 		case "QUIT":
 			ep.WriteString("OK\r\n")
@@ -195,21 +191,47 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 
 		default:
 			ep.WriteString("ERR unknown command\r\n")
+			continue
+		}
+		v, ok := nf.await(t, ep, f, aerr)
+		if !ok {
+			continue
+		}
+		nf.record(recOp, t0)
+		if withVal {
+			numbuf = append(numbuf[:0], "OK "...)
+			numbuf = strconv.AppendInt(numbuf, int64(v.(int)), 10)
+			numbuf = append(numbuf, '\r', '\n')
+			ep.Write(numbuf)
+		} else {
+			ep.WriteString("OK\r\n")
+		}
+	}
+}
+
+// upperASCII uppercases b in place (command words are ASCII; b is a
+// view into the connection's own read buffer, safe to mutate).
+func upperASCII(b []byte) {
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
 		}
 	}
 }
 
 // parseUser extracts the single <user> argument, replying with an
 // error line on failure.
-func parseUser(ep *netsim.Endpoint, fields []string) (int, bool) {
+func parseUser(ep *netsim.Endpoint, fields [][]byte) (int, bool) {
 	if len(fields) != 2 {
-		ep.WriteString("ERR usage: " + strings.ToUpper(fields[0]) + " <user>\r\n")
+		ep.WriteString("ERR usage: ")
+		ep.Write(fields[0]) // already uppercased
+		ep.WriteString(" <user>\r\n")
 		return 0, false
 	}
-	user, err := strconv.Atoi(fields[1])
-	if err != nil {
+	user, ok := wire.ParseInt(fields[1], 64)
+	if !ok {
 		ep.WriteString("ERR bad user\r\n")
 		return 0, false
 	}
-	return user, true
+	return int(user), true
 }

@@ -3,12 +3,12 @@ package jobserver
 import (
 	"fmt"
 	"strconv"
-	"strings"
 	"time"
 
 	"icilk"
 	"icilk/internal/metrics"
 	"icilk/internal/netsim"
+	"icilk/internal/wire"
 )
 
 // Network frontend for the job server: clients submit jobs over
@@ -85,31 +85,42 @@ func (nf *NetFrontend) Serve(ln *netsim.Listener) {
 	}
 }
 
+// classNames holds the canonical (lowercase) class names so reply
+// encoding never re-derives a string from the request bytes.
+var classNames = [4]string{"mm", "fib", "sort", "sw"}
+
 func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 	defer ep.Close()
+	ep.BufferWrites()
 	lr := nf.rt.NewLineReader(ep)
+	var (
+		fields [][]byte // reused split scratch
+		shed   []byte   // reused SHED-reply scratch
+	)
 	for {
-		line, err := lr.ReadLine(t)
+		line, err := lr.ReadLineBytes(t)
 		if err != nil {
 			return
 		}
-		fields := strings.Fields(line)
+		fields = wire.Fields(fields[:0], line)
 		if len(fields) == 0 {
 			continue
 		}
-		switch strings.ToUpper(fields[0]) {
+		upperASCII(fields[0])
+		switch string(fields[0]) {
 		case "RUN":
 			if len(fields) != 3 {
 				ep.WriteString("ERR usage: RUN <class> <seed>\r\n")
 				continue
 			}
-			class, ok := classIndex[strings.ToLower(fields[1])]
+			lowerASCII(fields[1])
+			class, ok := classIndex[string(fields[1])]
 			if !ok {
 				ep.WriteString("ERR unknown class (mm|fib|sort|sw)\r\n")
 				continue
 			}
-			seed, err := strconv.ParseInt(fields[2], 10, 64)
-			if err != nil {
+			seed, ok := wire.ParseInt(fields[2], 64)
+			if !ok {
 				ep.WriteString("ERR bad seed\r\n")
 				continue
 			}
@@ -120,13 +131,19 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 			// jobs from one connection run concurrently, as the SJF
 			// server requires.
 			t0 := time.Now()
-			className := strings.ToLower(fields[1])
+			className := classNames[class]
 			f, aerr := nf.srv.TryDo(class, seed)
 			if aerr != nil {
 				// Shed by admission control: immediate rejection, no
 				// scheduler involvement; the client may retry or route
-				// elsewhere.
-				fmt.Fprintf(ep, "SHED %s %d\r\n", className, seed)
+				// elsewhere. Encoded into reused scratch — the shed
+				// path stays allocation-free under overload.
+				shed = append(shed[:0], "SHED "...)
+				shed = append(shed, className...)
+				shed = append(shed, ' ')
+				shed = strconv.AppendInt(shed, seed, 10)
+				shed = append(shed, '\r', '\n')
+				ep.Write(shed)
 				continue
 			}
 			level := []int{LevelMM, LevelFib, LevelSort, LevelSW}[class]
@@ -135,9 +152,13 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 				result := f.Get(ct)
 				if f.Err() != nil {
 					fmt.Fprintf(ep, "LATE %s %d\r\n", className, seed)
+					ep.Flush() // outside the read loop: no auto-flush
 					return nil
 				}
 				fmt.Fprintf(ep, "DONE %s %d %v\r\n", className, seed, result)
+				// The handler task may stay parked in a read while the
+				// client waits for this reply; deliver it now.
+				ep.Flush()
 				if m != nil {
 					m.reqs.Inc()
 					m.lat.Observe(time.Since(t0))
@@ -151,6 +172,24 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 
 		default:
 			ep.WriteString("ERR unknown command\r\n")
+		}
+	}
+}
+
+// upperASCII / lowerASCII fold case in place (protocol words are
+// ASCII; the slices are views into the connection's own read buffer).
+func upperASCII(b []byte) {
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+}
+
+func lowerASCII(b []byte) {
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c - 'A' + 'a'
 		}
 	}
 }

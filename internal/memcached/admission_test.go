@@ -50,7 +50,7 @@ func TestAdmissionShedTextProtocol(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return line
+		return string(line)
 	}
 
 	// Occupy the single admission slot from outside, so the next

@@ -1,0 +1,148 @@
+package memcached
+
+import (
+	"testing"
+)
+
+// TestGetHitTextPathZeroAlloc is the tentpole regression gate: a
+// GET hit on the text protocol — parse, store lookup, reply encode —
+// performs zero heap allocations at steady state. A regression here
+// reintroduces per-request garbage on the hottest path the paper's
+// workload exercises (90% gets).
+func TestGetHitTextPathZeroAlloc(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	if res := s.Set(ModeSet, "key:00000001", []byte("hello-world-value-64-bytes-of-payload-data-aaaaaaaaaaaaaaaaaaaaa"), 42, 0, 0); res != Stored {
+		t.Fatal(res)
+	}
+	line := []byte("get key:00000001")
+	var (
+		req   RequestB
+		reply []byte
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		needData, perr := ParseCommandB(line, &req)
+		if needData != -1 || perr != nil {
+			t.Fatalf("parse: %d %q", needData, perr)
+		}
+		var quit bool
+		reply, quit = ExecuteAppend(s, &req, reply[:0])
+		if quit || len(reply) == 0 {
+			t.Fatal("bad execute")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("GET-hit text path: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestGetHitBinaryPathZeroAlloc mirrors the gate for the binary
+// protocol executor.
+func TestGetHitBinaryPathZeroAlloc(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	s.Set(ModeSet, "bkey", []byte("binary-value"), 7, 0, 0)
+	frame := binRequest(binOpGet, 99, 0, nil, []byte("bkey"), nil)
+	h := parseBinHeader(frame)
+	body := frame[24 : 24+int(h.bodyLen)]
+	var reply []byte
+	allocs := testing.AllocsPerRun(1000, func() {
+		var quit bool
+		reply, quit = ExecuteBinaryAppend(s, h, body, reply[:0])
+		if quit || len(reply) < 24 {
+			t.Fatal("bad execute")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("GET-hit binary path: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestGetMissTextPathZeroAlloc: misses are the overload-shedding hot
+// path and must stay allocation-free too.
+func TestGetMissTextPathZeroAlloc(t *testing.T) {
+	s := NewStore(StoreConfig{})
+	line := []byte("get key:99999999")
+	var (
+		req   RequestB
+		reply []byte
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, perr := ParseCommandB(line, &req)
+		if perr != nil {
+			t.Fatalf("parse: %q", perr)
+		}
+		reply, _ = ExecuteAppend(s, &req, reply[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("GET-miss text path: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// Benchmarks for the protocol data path (parse + store op + reply
+// encode), reported with allocs/op. The SET paths retain their value,
+// so they carry one unavoidable copy-in allocation; the GET paths
+// must show zero.
+
+func BenchmarkTextGetHit(b *testing.B) {
+	s := NewStore(StoreConfig{})
+	s.Set(ModeSet, "key:00000001", make([]byte, 64), 0, 0, 0)
+	line := []byte("get key:00000001")
+	var (
+		req   RequestB
+		reply []byte
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParseCommandB(line, &req)
+		reply, _ = ExecuteAppend(s, &req, reply[:0])
+	}
+	_ = reply
+}
+
+func BenchmarkTextSet(b *testing.B) {
+	s := NewStore(StoreConfig{})
+	line := []byte("set key:00000001 0 0 64")
+	data := make([]byte, 64)
+	var (
+		req   RequestB
+		reply []byte
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParseCommandB(line, &req)
+		req.Data = data
+		reply, _ = ExecuteAppend(s, &req, reply[:0])
+	}
+	_ = reply
+}
+
+func BenchmarkBinaryGetHit(b *testing.B) {
+	s := NewStore(StoreConfig{})
+	s.Set(ModeSet, "bkey", make([]byte, 64), 0, 0, 0)
+	frame := binRequest(binOpGet, 0, 0, nil, []byte("bkey"), nil)
+	h := parseBinHeader(frame)
+	body := frame[24 : 24+int(h.bodyLen)]
+	var reply []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reply, _ = ExecuteBinaryAppend(s, h, body, reply[:0])
+	}
+	_ = reply
+}
+
+func BenchmarkBinarySet(b *testing.B) {
+	s := NewStore(StoreConfig{})
+	extras := make([]byte, 8)
+	frame := binRequest(binOpSet, 0, 0, extras, []byte("bkey"), make([]byte, 64))
+	h := parseBinHeader(frame)
+	body := frame[24 : 24+int(h.bodyLen)]
+	var reply []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reply, _ = ExecuteBinaryAppend(s, h, body, reply[:0])
+	}
+	_ = reply
+}

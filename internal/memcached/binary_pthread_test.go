@@ -105,7 +105,7 @@ func TestTextAndBinaryConnectionsCoexist(t *testing.T) {
 	defer txt.Close()
 	txt.WriteString("set shared 0 0 4\r\nboth\r\n")
 	ls := &lineScanner{ep: txt}
-	if line, _ := ls.readLine(); line != "STORED" {
+	if line, _ := ls.readLine(); string(line) != "STORED" {
 		t.Fatalf("text set -> %q", line)
 	}
 
@@ -125,10 +125,10 @@ func TestTextAndBinaryConnectionsCoexist(t *testing.T) {
 	readBinFrames(t, bin, 1)
 
 	txt.WriteString("get ctr\r\n")
-	if line, _ := ls.readLine(); line != "VALUE ctr 0 3" {
+	if line, _ := ls.readLine(); string(line) != "VALUE ctr 0 3" {
 		t.Fatalf("text get header -> %q", line)
 	}
-	if line, _ := ls.readLine(); line != "100" {
+	if line, _ := ls.readLine(); string(line) != "100" {
 		t.Fatalf("text get value -> %q", line)
 	}
 }

@@ -3,7 +3,7 @@ package memcached
 import (
 	"fmt"
 	"io"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,7 +69,19 @@ func (c *WorkloadConfig) applyDefaults() {
 }
 
 // KeyName formats the i-th key.
-func KeyName(i uint64) string { return fmt.Sprintf("key:%08d", i) }
+func KeyName(i uint64) string { return string(AppendKeyName(nil, i)) }
+
+// AppendKeyName appends the i-th key's name ("key:%08d") to dst — the
+// load generator's allocation-free key encoding.
+func AppendKeyName(dst []byte, i uint64) []byte {
+	dst = append(dst, "key:"...)
+	var tmp [20]byte
+	s := strconv.AppendUint(tmp[:0], i, 10)
+	for pad := 8 - len(s); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	return append(dst, s...)
+}
 
 // Preload populates the store directly with the working set so the
 // measured run sees a warm cache.
@@ -139,7 +151,11 @@ type lineScanner struct {
 	pos int
 }
 
-func (ls *lineScanner) readLine() (string, error) {
+// readLine returns the next line (CRLF stripped) as a view into the
+// scanner's buffer, valid only until the next readLine call. The
+// socket is read directly into the buffer's spare capacity, so the
+// steady state allocates nothing.
+func (ls *lineScanner) readLine() ([]byte, error) {
 	for {
 		for i := ls.pos; i < len(ls.buf); i++ {
 			if ls.buf[i] == '\n' {
@@ -148,7 +164,7 @@ func (ls *lineScanner) readLine() (string, error) {
 				if len(line) > 0 && line[len(line)-1] == '\r' {
 					line = line[:len(line)-1]
 				}
-				return string(line), nil
+				return line, nil
 			}
 		}
 		if ls.pos > 0 {
@@ -156,14 +172,18 @@ func (ls *lineScanner) readLine() (string, error) {
 			ls.buf = ls.buf[:rest]
 			ls.pos = 0
 		}
-		var chunk [4096]byte
-		n, err := ls.ep.Read(chunk[:])
+		if len(ls.buf) == cap(ls.buf) {
+			grown := make([]byte, len(ls.buf), max(2*cap(ls.buf), 4096))
+			copy(grown, ls.buf)
+			ls.buf = grown
+		}
+		n, err := ls.ep.Read(ls.buf[len(ls.buf):cap(ls.buf)])
 		if n > 0 {
-			ls.buf = append(ls.buf, chunk[:n]...)
+			ls.buf = ls.buf[:len(ls.buf)+n]
 			continue
 		}
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 	}
 }
@@ -204,6 +224,7 @@ func RunLoad(ln *netsim.Listener, cfg WorkloadConfig) (*LoadResult, error) {
 			defer wg.Done()
 			defer close(pending)
 			val := makeValue(cfg.ValueSize, byte(ep.ID))
+			var req []byte // reused request-encoding scratch
 			next := time.Now()
 			deadline := start.Add(cfg.Duration)
 			for {
@@ -215,16 +236,25 @@ func RunLoad(ln *netsim.Listener, cfg WorkloadConfig) (*LoadResult, error) {
 				if d := time.Until(next); d > 0 {
 					time.Sleep(d)
 				}
-				key := KeyName(zipf.Uint64())
+				key := zipf.Uint64()
 				isGet := rng.Float64() < cfg.GetFraction
-				var req string
 				if isGet {
-					req = "get " + key + "\r\n"
+					req = append(req[:0], "get "...)
+					req = AppendKeyName(req, key)
+					req = append(req, '\r', '\n')
 				} else {
-					req = fmt.Sprintf("set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
+					req = append(req[:0], "set "...)
+					req = AppendKeyName(req, key)
+					req = append(req, " 0 0 "...)
+					req = strconv.AppendInt(req, int64(len(val)), 10)
+					req = append(req, '\r', '\n')
+					req = append(req, val...)
+					req = append(req, '\r', '\n')
 				}
 				pending <- pendingReq{scheduled: next, isGet: isGet}
-				if _, err := ep.WriteString(req); err != nil {
+				// The endpoint copies what it sends, so req is reusable
+				// as soon as Write returns.
+				if _, err := ep.Write(req); err != nil {
 					errors.Add(1)
 					return
 				}
@@ -247,10 +277,10 @@ func RunLoad(ln *netsim.Listener, cfg WorkloadConfig) (*LoadResult, error) {
 							errors.Add(1)
 							return
 						}
-						if line == "END" {
+						if string(line) == "END" {
 							break
 						}
-						if strings.HasPrefix(line, "VALUE ") {
+						if len(line) >= 6 && string(line[:6]) == "VALUE " {
 							// The value block is one "line" for our
 							// scanner (payloads contain no newlines).
 							if _, err := ls.readLine(); err != nil {
@@ -260,7 +290,7 @@ func RunLoad(ln *netsim.Listener, cfg WorkloadConfig) (*LoadResult, error) {
 							continue
 						}
 						ok = false
-						shed = line == shedReplyLine
+						shed = string(line) == shedReplyLine
 						break
 					}
 				} else {
@@ -269,8 +299,8 @@ func RunLoad(ln *netsim.Listener, cfg WorkloadConfig) (*LoadResult, error) {
 						errors.Add(1)
 						return
 					}
-					ok = line == "STORED"
-					shed = line == shedReplyLine
+					ok = string(line) == "STORED"
+					shed = string(line) == shedReplyLine
 				}
 				measured := p.scheduled.After(measureFrom)
 				if shed {

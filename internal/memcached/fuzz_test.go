@@ -1,6 +1,8 @@
 package memcached
 
 import (
+	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -93,4 +95,156 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// --- Parity fuzzing: the zero-copy protocol path against the string
+// reference implementations. Both paths walk the same raw pipelined
+// input with one store each; deterministic commands must produce
+// byte-for-byte identical response streams.
+
+// trimFuzzCR strips one trailing CR, as both protocol readers do.
+func trimFuzzCR(line []byte) []byte {
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		return line[:len(line)-1]
+	}
+	return line
+}
+
+// runOldTextPath frames input and serves it through ParseCommand /
+// Execute (the copying reference path).
+func runOldTextPath(input []byte) (out []byte, quit bool) {
+	s := NewStore(StoreConfig{Shards: 1})
+	pos := 0
+	for {
+		idx := bytes.IndexByte(input[pos:], '\n')
+		if idx < 0 {
+			return out, false
+		}
+		line := trimFuzzCR(input[pos : pos+idx])
+		pos += idx + 1
+		req, needData, err := ParseCommand(string(line))
+		if err != nil {
+			out = append(out, err.Error()...)
+			out = append(out, "\r\n"...)
+			continue
+		}
+		if req == nil {
+			continue
+		}
+		if needData >= 0 {
+			if len(input)-pos < needData+2 {
+				return out, false // incomplete data block: stop
+			}
+			req.Data = append([]byte(nil), input[pos:pos+needData]...)
+			pos += needData + 2
+		}
+		reply, q := Execute(s, req)
+		out = append(out, reply...)
+		if q {
+			return out, true
+		}
+	}
+}
+
+// runNewTextPath frames the same input through ParseCommandB /
+// ExecuteAppend (the in-place path).
+func runNewTextPath(input []byte) (out []byte, quit bool) {
+	s := NewStore(StoreConfig{Shards: 1})
+	var req RequestB
+	pos := 0
+	for {
+		idx := bytes.IndexByte(input[pos:], '\n')
+		if idx < 0 {
+			return out, false
+		}
+		line := trimFuzzCR(input[pos : pos+idx])
+		pos += idx + 1
+		needData, perr := ParseCommandB(line, &req)
+		if perr != nil {
+			out = append(out, perr...)
+			continue
+		}
+		if req.Op == opSkip {
+			continue
+		}
+		if needData >= 0 {
+			if len(input)-pos < needData+2 {
+				return out, false
+			}
+			req.Data = input[pos : pos+needData]
+			pos += needData + 2
+		}
+		var q bool
+		out, q = ExecuteAppend(s, &req, out)
+		if q {
+			return out, true
+		}
+	}
+}
+
+// maskUptime hides the only time-dependent stats line ("STAT uptime
+// <seconds>") so a second boundary between the two runs cannot break
+// byte parity.
+var uptimeRE = regexp.MustCompile(`STAT uptime \d+`)
+
+func maskUptime(b []byte) []byte {
+	return uptimeRE.ReplaceAll(b, []byte("STAT uptime X"))
+}
+
+// FuzzTextProtocolParity feeds arbitrary pipelined input to both text
+// protocol paths and requires identical response bytes.
+func FuzzTextProtocolParity(f *testing.F) {
+	for _, seed := range []string{
+		"set k 0 0 5\r\nhello\r\nget k\r\ngets k\r\ndelete k\r\n",
+		"add a 1 0 3\r\nxyz\r\nappend a 0 0 2\r\nzz\r\nprepend a 0 0 2\r\nyy\r\nget a b c\r\n",
+		"set n 0 0 2\r\n10\r\nincr n 7\r\ndecr n 3\r\nincr n bogus\r\nincr missing 1\r\n",
+		"cas k 0 0 3 1\r\nabc\r\ntouch k 100\r\nbad cmd\r\nverbosity 1 noreply\r\n",
+		"get \r\nset k 0 0 bogus\r\nincr\r\nflush_all\r\nstats\r\nversion\r\nquit\r\n",
+		"set k 0 0 3 noreply\r\nxyz\r\ndelete k noreply\r\ndelete k\r\n",
+		"set k 4294967295 -1 1\r\nz\r\nget k\r\nstats reset\r\nlru_crawler crawl all\r\n",
+		"incr k 18446744073709551615\r\ntouch k notanumber\r\ncas k 0 0 1 bogus\r\nx\r\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, input []byte) {
+		oldOut, oldQuit := runOldTextPath(input)
+		newOut, newQuit := runNewTextPath(input)
+		if oldQuit != newQuit {
+			t.Fatalf("quit parity: old %v, new %v", oldQuit, newQuit)
+		}
+		if !bytes.Equal(maskUptime(oldOut), maskUptime(newOut)) {
+			t.Fatalf("reply parity break on %q:\nold: %q\nnew: %q", input, oldOut, newOut)
+		}
+	})
+}
+
+// FuzzBinaryProtocolParity does the same for the binary executors:
+// one frame, two stores, identical response bytes (including the
+// silent quiet-miss case).
+func FuzzBinaryProtocolParity(f *testing.F) {
+	f.Add([]byte{binReqMagic, binOpGet, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 'k'})
+	f.Add(binRequestFuzzSeed(binOpSet, []byte{0, 0, 0, 0, 0, 0, 0, 0}, "key", "val"))
+	f.Add(binRequestFuzzSeed(binOpIncr, make([]byte, 20), "n", ""))
+	f.Add(binRequestFuzzSeed(binOpGetQ, nil, "miss", ""))
+	f.Add(binRequestFuzzSeed(binOpDelete, nil, "miss", ""))
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		if len(frame) < 24 {
+			return
+		}
+		h := parseBinHeader(frame)
+		body := frame[24:]
+		if int(h.bodyLen) <= len(body) {
+			body = body[:h.bodyLen]
+		}
+		sOld := NewStore(StoreConfig{Shards: 1})
+		sNew := NewStore(StoreConfig{Shards: 1})
+		respOld, quitOld := ExecuteBinary(sOld, h, body)
+		respNew, quitNew := ExecuteBinaryAppend(sNew, h, body, nil)
+		if quitOld != quitNew {
+			t.Fatalf("quit parity: old %v, new %v", quitOld, quitNew)
+		}
+		if !bytes.Equal(respOld, respNew) {
+			t.Fatalf("binary parity break on % x:\nold: % x\nnew: % x", frame, respOld, respNew)
+		}
+	})
 }

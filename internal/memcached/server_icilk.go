@@ -1,7 +1,6 @@
 package memcached
 
 import (
-	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -146,11 +145,25 @@ func (s *ICilkServer) HandleConn(ep Conn) *icilk.Future {
 	})
 }
 
+// writeBufferer is the optional coalescing surface a connection may
+// expose (netsim endpoints are write-through until a server opts in;
+// netreal connections always coalesce).
+type writeBufferer interface{ BufferWrites() }
+
 // handleConn is the whole per-connection logic. Contrast with the
 // pthread frontend's connState/step state machine: I/O futures give a
 // synchronous interface, so the control flow reads top to bottom.
+//
+// The request loop is allocation-free at steady state: lines and data
+// blocks are views into the reader's buffer, parsing is in place, and
+// replies are encoded into a per-connection scratch buffer. Replies
+// coalesce in the connection's write buffer and flush when the loop
+// suspends for more input (Runtime.Read's auto-flush).
 func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 	defer ep.Close()
+	if b, ok := ep.(writeBufferer); ok {
+		b.BufferWrites()
+	}
 	lr := s.rt.NewLineReader(ep)
 	// Protocol sniff, as real memcached does: a 0x80 first byte means
 	// the client speaks the binary protocol.
@@ -162,22 +175,32 @@ func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 		s.handleBinaryConn(t, ep, lr)
 		return
 	}
+	var (
+		req        RequestB
+		reply      []byte // per-connection response scratch
+		keyScratch []byte
+	)
 	sinceYield := 0
 	for {
-		line, err := lr.ReadLine(t)
+		line, err := lr.ReadLineBytes(t)
 		if err != nil {
 			return // EOF: client disconnected
 		}
-		req, needData, perr := ParseCommand(line)
+		needData, perr := ParseCommandB(line, &req)
 		if perr != nil {
-			fmt.Fprintf(ep, "%s\r\n", perr.Error())
+			ep.Write(perr)
 			continue
 		}
-		if req == nil {
+		if req.Op == opSkip {
 			continue
 		}
 		if needData >= 0 {
-			data, err := lr.ReadBlock(t, needData)
+			// The key is a view into the command line; reading the data
+			// block may compact the buffer under it, so hold it in
+			// per-connection scratch across the read.
+			keyScratch = append(keyScratch[:0], req.Key...)
+			req.Key = keyScratch
+			data, err := lr.ReadBlockBytes(t, needData)
 			if err != nil {
 				return
 			}
@@ -195,7 +218,8 @@ func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 			}
 		}
 		t0 := time.Now()
-		reply, quit := Execute(s.store, req)
+		var quit bool
+		reply, quit = ExecuteAppend(s.store, &req, reply[:0])
 		if len(reply) > 0 {
 			ep.Write(reply)
 		}
@@ -209,10 +233,13 @@ func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 		}
 		// Fairness among pipelined requests: after a batch, take an
 		// explicit scheduling point (the pthread baseline's voluntary
-		// yield; here it is also a promptness check).
+		// yield; here it is also a promptness check). Flush first: the
+		// yield may park this routine for a while and the replies so
+		// far must not wait on it.
 		sinceYield++
 		if sinceYield >= s.cfg.BatchLimit && lr.Buffered() {
 			sinceYield = 0
+			ep.Flush()
 			t.Yield()
 		}
 	}
@@ -223,9 +250,10 @@ func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 // reader (ReadExact instead of ReadLine — the framing is the only
 // difference between the two protocol loops).
 func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineReader) {
+	var reply []byte // per-connection response scratch
 	sinceYield := 0
 	for {
-		hdr, err := lr.ReadExact(t, 24)
+		hdr, err := lr.ReadExactBytes(t, 24)
 		if err != nil {
 			return
 		}
@@ -235,7 +263,7 @@ func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineRea
 		}
 		var body []byte
 		if h.bodyLen > 0 {
-			body, err = lr.ReadExact(t, int(h.bodyLen))
+			body, err = lr.ReadExactBytes(t, int(h.bodyLen))
 			if err != nil {
 				return
 			}
@@ -244,14 +272,16 @@ func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineRea
 		if s.cfg.Admission != nil {
 			var aerr error
 			if tk, aerr = s.cfg.Admission.Acquire(s.cfg.RequestLevel); aerr != nil {
-				ep.Write(binError(h.opcode, binStatusTmpFail, h.opaque, "out of capacity"))
+				reply = appendBinError(reply[:0], h.opcode, binStatusTmpFail, h.opaque, "out of capacity")
+				ep.Write(reply)
 				continue
 			}
 		}
 		t0 := time.Now()
-		resp, quit := ExecuteBinary(s.store, h, body)
-		if resp != nil {
-			ep.Write(resp)
+		var quit bool
+		reply, quit = ExecuteBinaryAppend(s.store, h, body, reply[:0])
+		if len(reply) > 0 {
+			ep.Write(reply)
 		}
 		d := time.Since(t0)
 		if s.cfg.Admission != nil {
@@ -264,6 +294,7 @@ func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineRea
 		sinceYield++
 		if sinceYield >= s.cfg.BatchLimit && lr.Buffered() {
 			sinceYield = 0
+			ep.Flush()
 			t.Yield()
 		}
 	}

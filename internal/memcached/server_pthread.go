@@ -1,7 +1,6 @@
 package memcached
 
 import (
-	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -67,16 +66,21 @@ type connState struct {
 	ep       *netsim.Endpoint
 	buf      []byte
 	pos      int
-	pending  *Request // parsed command awaiting its data block
+	req      RequestB // in-place parsed command, reused per request
+	pending  bool     // req is a storage command awaiting its data block
 	needData int      // bytes outstanding for pending; -1 when none
 	eof      bool
+	key      []byte // storage-key scratch: the parsed key view dies when
+	// the buffer compacts or grows before the data block arrives
+	reply []byte // response encoding scratch
 
 	// Protocol sniffing and binary-mode state (real memcached's event
 	// loop also dispatches on the first byte and keeps the pending
 	// binary header in the connection state).
 	sniffed    bool
 	binary     bool
-	binPending *binHeader // header awaiting its body
+	binPending binHeader // header awaiting its body (when binHave)
+	binHave    bool
 }
 
 func (cs *connState) buffered() bool { return cs.pos < len(cs.buf) }
@@ -91,13 +95,19 @@ func (cs *connState) compact() {
 	cs.pos = 0
 }
 
-// drain moves everything readable from the socket into the buffer.
+// drain moves everything readable from the socket directly into the
+// buffer's spare capacity (no intermediate copy; steady state does
+// not allocate).
 func (cs *connState) drain() {
-	var chunk [4096]byte
 	for {
-		n, err := cs.ep.TryRead(chunk[:])
+		if len(cs.buf) == cap(cs.buf) {
+			grown := make([]byte, len(cs.buf), max(2*cap(cs.buf), 4096))
+			copy(grown, cs.buf)
+			cs.buf = grown
+		}
+		n, err := cs.ep.TryRead(cs.buf[len(cs.buf):cap(cs.buf)])
 		if n > 0 {
-			cs.buf = append(cs.buf, chunk[:n]...)
+			cs.buf = cs.buf[:len(cs.buf)+n]
 			continue
 		}
 		if err == io.EOF {
@@ -121,20 +131,21 @@ func (cs *connState) step(store *Store) (progress, executed, quit bool) {
 	if cs.binary {
 		return cs.stepBinary(store)
 	}
-	// State: waiting for a data block.
-	if cs.pending != nil {
+	// State: waiting for a data block. The block executes in place —
+	// req.Data stays a view into the buffer (SetB copies what it
+	// keeps).
+	if cs.pending {
 		if len(cs.buf)-cs.pos < cs.needData+2 {
 			return false, false, false
 		}
-		req := cs.pending
-		req.Data = make([]byte, cs.needData)
-		copy(req.Data, cs.buf[cs.pos:cs.pos+cs.needData])
+		cs.req.Data = cs.buf[cs.pos : cs.pos+cs.needData]
 		cs.pos += cs.needData + 2 // skip CRLF
-		cs.pending = nil
+		cs.pending = false
 		cs.needData = -1
-		reply, q := Execute(store, req)
-		if len(reply) > 0 {
-			cs.ep.Write(reply)
+		var q bool
+		cs.reply, q = ExecuteAppend(store, &cs.req, cs.reply[:0])
+		if len(cs.reply) > 0 {
+			cs.ep.Write(cs.reply)
 		}
 		return true, true, q
 	}
@@ -154,22 +165,27 @@ func (cs *connState) step(store *Store) (progress, executed, quit bool) {
 	if len(line) > 0 && line[len(line)-1] == '\r' {
 		line = line[:len(line)-1]
 	}
-	req, needData, err := ParseCommand(string(line))
-	if err != nil {
-		fmt.Fprintf(cs.ep, "%s\r\n", err.Error())
+	needData, perr := ParseCommandB(line, &cs.req)
+	if perr != nil {
+		cs.ep.Write(perr)
 		return true, true, false
 	}
-	if req == nil {
+	if cs.req.Op == opSkip {
 		return true, false, false
 	}
 	if needData >= 0 {
-		cs.pending = req
+		// Hold the key in connection scratch: drain/compact will move
+		// the buffer under the parsed view before the block arrives.
+		cs.key = append(cs.key[:0], cs.req.Key...)
+		cs.req.Key = cs.key
+		cs.pending = true
 		cs.needData = needData
 		return true, false, false
 	}
-	reply, q := Execute(store, req)
-	if len(reply) > 0 {
-		cs.ep.Write(reply)
+	var q bool
+	cs.reply, q = ExecuteAppend(store, &cs.req, cs.reply[:0])
+	if len(cs.reply) > 0 {
+		cs.ep.Write(cs.reply)
 	}
 	return true, true, q
 }
@@ -177,7 +193,7 @@ func (cs *connState) step(store *Store) (progress, executed, quit bool) {
 // stepBinary advances the binary-protocol state machine by one
 // transition: header, then body, then execute.
 func (cs *connState) stepBinary(store *Store) (progress, executed, quit bool) {
-	if cs.binPending == nil {
+	if !cs.binHave {
 		if len(cs.buf)-cs.pos < 24 {
 			return false, false, false
 		}
@@ -186,20 +202,21 @@ func (cs *connState) stepBinary(store *Store) (progress, executed, quit bool) {
 		if h.magic != binReqMagic {
 			return true, false, true // framing lost: close
 		}
-		cs.binPending = &h
+		cs.binPending = h
+		cs.binHave = true
 		return true, false, false
 	}
-	h := *cs.binPending
+	h := cs.binPending
 	if len(cs.buf)-cs.pos < int(h.bodyLen) {
 		return false, false, false
 	}
-	body := make([]byte, h.bodyLen)
-	copy(body, cs.buf[cs.pos:cs.pos+int(h.bodyLen)])
+	body := cs.buf[cs.pos : cs.pos+int(h.bodyLen)]
 	cs.pos += int(h.bodyLen)
-	cs.binPending = nil
-	resp, q := ExecuteBinary(store, h, body)
-	if resp != nil {
-		cs.ep.Write(resp)
+	cs.binHave = false
+	var q bool
+	cs.reply, q = ExecuteBinaryAppend(store, h, body, cs.reply[:0])
+	if len(cs.reply) > 0 {
+		cs.ep.Write(cs.reply)
 	}
 	return true, true, q
 }
@@ -222,13 +239,16 @@ func (s *PthreadServer) onReadable(e *levent.Event) {
 			break
 		}
 	}
+	// One peer notification per callback, however many replies the
+	// batch produced.
+	cs.ep.Flush()
 	cs.compact()
 	if cs.buffered() && executed >= s.cfg.BatchLimit {
 		// Voluntary yield: requeue behind other ready connections.
 		e.Reactivate()
 		return
 	}
-	if cs.eof && !cs.buffered() && cs.pending == nil && cs.binPending == nil {
+	if cs.eof && !cs.buffered() && !cs.pending && !cs.binHave {
 		cs.ep.Close()
 		return
 	}
@@ -272,6 +292,7 @@ func (s *PthreadServer) Serve(ln *netsim.Listener) {
 			return
 		}
 		base := s.bases[int(s.next.Add(1))%len(s.bases)]
+		ep.BufferWrites()
 		cs := &connState{ep: ep, needData: -1}
 		ev := base.NewReadEvent(ep, s.onReadable)
 		ev.SetUserData(cs)

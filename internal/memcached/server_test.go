@@ -35,7 +35,7 @@ func dialAndExchange(t *testing.T, ln *netsim.Listener, script []string, wantSub
 			if err != nil {
 				t.Fatalf("read %d (%q): %v (so far %q)", i, req, err, got.String())
 			}
-			got.WriteString(line)
+			got.Write(line)
 			got.WriteString("\n")
 			if strings.Contains(got.String(), wantSubstr[i]) {
 				break
@@ -126,7 +126,7 @@ func TestICilkServerPipelinedRequests(t *testing.T) {
 	ls := &lineScanner{ep: ep}
 	for i := 0; i < 50; i++ {
 		line, err := ls.readLine()
-		if err != nil || line != "STORED" {
+		if err != nil || string(line) != "STORED" {
 			t.Fatalf("pipelined reply %d = %q, %v", i, line, err)
 		}
 	}
@@ -206,7 +206,7 @@ func TestServiceHistogramRecords(t *testing.T) {
 	defer ep.Close()
 	ls := &lineScanner{ep: ep}
 	ep.WriteString("set h 0 0 1\r\nx\r\nget h\r\n")
-	if line, _ := ls.readLine(); line != "STORED" {
+	if line, _ := ls.readLine(); string(line) != "STORED" {
 		t.Fatalf("set -> %q", line)
 	}
 	for i := 0; i < 3; i++ {

@@ -16,7 +16,6 @@
 package memcached
 
 import (
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -256,72 +255,10 @@ const (
 )
 
 // Set executes a storage command. casUnique is consulted only for
-// ModeCAS.
+// ModeCAS. The value is copied before it is retained (see
+// Store.GetView's immutability contract).
 func (s *Store) Set(mode SetMode, key string, value []byte, flags uint32, exptime int64, casUnique uint64) StoreResult {
-	now := time.Now().Unix()
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	existing := s.getLocked(sh, key, now)
-
-	switch mode {
-	case ModeAdd:
-		if existing != nil {
-			return NotStored
-		}
-	case ModeReplace:
-		if existing == nil {
-			return NotStored
-		}
-	case ModeAppend, ModePrepend:
-		if existing == nil {
-			return NotStored
-		}
-		// Append/prepend keep the existing flags and exptime.
-		old := existing.Value
-		var merged []byte
-		if mode == ModeAppend {
-			merged = append(append(make([]byte, 0, len(old)+len(value)), old...), value...)
-		} else {
-			merged = append(append(make([]byte, 0, len(old)+len(value)), value...), old...)
-		}
-		sh.bytes += int64(len(merged) - len(old))
-		existing.Value = merged
-		existing.CAS = s.casSeq.Add(1)
-		s.evictLocked(sh)
-		s.Stats.Sets.Add(1)
-		return Stored
-	case ModeCAS:
-		if existing == nil {
-			s.Stats.CasMisses.Add(1)
-			return NotFoundStore
-		}
-		if existing.CAS != casUnique {
-			s.Stats.CasBadval.Add(1)
-			return Exists
-		}
-		s.Stats.CasHits.Add(1)
-	}
-
-	expireAt := normalizeExptime(exptime, now)
-	if existing != nil {
-		sh.bytes += int64(len(value) - len(existing.Value))
-		existing.Value = value
-		existing.Flags = flags
-		existing.ExpireAt = expireAt
-		existing.CAS = s.casSeq.Add(1)
-		s.bump(sh, existing, now)
-	} else {
-		it := &Item{Key: key, Value: value, Flags: flags, ExpireAt: expireAt, CAS: s.casSeq.Add(1), lastBump: time.Now().UnixNano()}
-		sh.table[key] = it
-		sh.lruPushFront(it)
-		sh.bytes += int64(len(value))
-		s.Stats.CurrItems.Add(1)
-		s.Stats.TotalItems.Add(1)
-	}
-	s.evictLocked(sh)
-	s.Stats.Sets.Add(1)
-	return Stored
+	return s.SetB(mode, []byte(key), value, flags, exptime, casUnique)
 }
 
 // normalizeExptime applies memcached's exptime convention: 0 = never,
@@ -339,64 +276,19 @@ func normalizeExptime(exptime, now int64) int64 {
 }
 
 // Delete removes key; ok is false if it was absent.
-func (s *Store) Delete(key string) bool {
-	now := time.Now().Unix()
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	it := s.getLocked(sh, key, now)
-	if it == nil {
-		return false
-	}
-	s.removeLocked(sh, it)
-	s.Stats.Deletes.Add(1)
-	return true
-}
+func (s *Store) Delete(key string) bool { return s.DeleteB([]byte(key)) }
 
 // IncrDecr adjusts a numeric value by delta (decrements clamp at 0,
 // per the protocol). It returns the new value; ok is false when the
 // key is missing; numeric is false when the stored value is not an
 // unsigned decimal.
 func (s *Store) IncrDecr(key string, delta uint64, incr bool) (newVal uint64, ok, numeric bool) {
-	now := time.Now().Unix()
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	it := s.getLocked(sh, key, now)
-	if it == nil {
-		return 0, false, true
-	}
-	cur, err := strconv.ParseUint(string(it.Value), 10, 64)
-	if err != nil {
-		return 0, true, false
-	}
-	if incr {
-		cur += delta
-	} else if cur < delta {
-		cur = 0
-	} else {
-		cur -= delta
-	}
-	nv := strconv.AppendUint(nil, cur, 10)
-	sh.bytes += int64(len(nv) - len(it.Value))
-	it.Value = nv
-	it.CAS = s.casSeq.Add(1)
-	s.bump(sh, it, now)
-	return cur, true, true
+	return s.IncrDecrB([]byte(key), delta, incr)
 }
 
 // Touch updates an item's expiry without reading it.
 func (s *Store) Touch(key string, exptime int64) bool {
-	now := time.Now().Unix()
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	it := s.getLocked(sh, key, now)
-	if it == nil {
-		return false
-	}
-	it.ExpireAt = normalizeExptime(exptime, now)
-	return true
+	return s.TouchB([]byte(key), exptime)
 }
 
 // FlushAll discards every item (the optional delay of the real

@@ -1,0 +1,201 @@
+package memcached
+
+// Byte-key store operations for the allocation-free protocol path.
+// Keys arrive as views into connection buffers; lookups use the
+// compiler-recognized map[string(b)] pattern so no string is
+// materialized, and a key is only converted (and the value copied)
+// when an entry is actually inserted or replaced.
+
+import (
+	"strconv"
+	"time"
+
+	"icilk/internal/wire"
+)
+
+// fnv1aB is fnv1a over a byte-slice key.
+func fnv1aB(key []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (s *Store) shardForB(key []byte) *shard {
+	return &s.shards[fnv1aB(key)%uint32(len(s.shards))]
+}
+
+// getLockedB is getLocked for a byte-slice key; callers hold sh.mu.
+func (s *Store) getLockedB(sh *shard, key []byte, now int64) *Item {
+	it, ok := sh.table[string(key)]
+	if !ok {
+		return nil
+	}
+	if it.expired(now) {
+		s.removeLocked(sh, it)
+		s.Stats.Expired.Add(1)
+		return nil
+	}
+	return it
+}
+
+// GetView returns the stored value slice for key without copying,
+// plus flags and CAS. The returned slice is READ-ONLY and remains
+// valid indefinitely: every store mutation replaces an item's Value
+// slice with a fresh one (Set/SetB install a new slice,
+// append/prepend build a merged copy, incr/decr re-render), never
+// writes into the old one, so a reader's view is immutable once
+// handed out. Side effects (hit/miss counters, LRU bump) match Get.
+func (s *Store) GetView(key []byte) (value []byte, flags uint32, cas uint64, ok bool) {
+	now := time.Now().Unix()
+	sh := s.shardForB(key)
+	sh.mu.Lock()
+	it := s.getLockedB(sh, key, now)
+	if it == nil {
+		sh.mu.Unlock()
+		s.Stats.GetMisses.Add(1)
+		return nil, 0, 0, false
+	}
+	s.bump(sh, it, now)
+	v, f, c := it.Value, it.Flags, it.CAS
+	sh.mu.Unlock()
+	s.Stats.GetHits.Add(1)
+	return v, f, c, true
+}
+
+// SetB executes a storage command with a byte-slice key. Both key and
+// value may be transient views into a connection buffer: the value is
+// copied into a fresh slice before it is retained (the GetView
+// immutability contract depends on stored values never aliasing
+// caller memory), and the key is converted to a string only when a
+// new entry is inserted. casUnique is consulted only for ModeCAS.
+func (s *Store) SetB(mode SetMode, key []byte, value []byte, flags uint32, exptime int64, casUnique uint64) StoreResult {
+	now := time.Now().Unix()
+	sh := s.shardForB(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	existing := s.getLockedB(sh, key, now)
+
+	switch mode {
+	case ModeAdd:
+		if existing != nil {
+			return NotStored
+		}
+	case ModeReplace:
+		if existing == nil {
+			return NotStored
+		}
+	case ModeAppend, ModePrepend:
+		if existing == nil {
+			return NotStored
+		}
+		// Append/prepend keep the existing flags and exptime.
+		old := existing.Value
+		var merged []byte
+		if mode == ModeAppend {
+			merged = append(append(make([]byte, 0, len(old)+len(value)), old...), value...)
+		} else {
+			merged = append(append(make([]byte, 0, len(old)+len(value)), value...), old...)
+		}
+		sh.bytes += int64(len(merged) - len(old))
+		existing.Value = merged
+		existing.CAS = s.casSeq.Add(1)
+		s.evictLocked(sh)
+		s.Stats.Sets.Add(1)
+		return Stored
+	case ModeCAS:
+		if existing == nil {
+			s.Stats.CasMisses.Add(1)
+			return NotFoundStore
+		}
+		if existing.CAS != casUnique {
+			s.Stats.CasBadval.Add(1)
+			return Exists
+		}
+		s.Stats.CasHits.Add(1)
+	}
+
+	v := append(make([]byte, 0, len(value)), value...)
+	expireAt := normalizeExptime(exptime, now)
+	if existing != nil {
+		sh.bytes += int64(len(v) - len(existing.Value))
+		existing.Value = v
+		existing.Flags = flags
+		existing.ExpireAt = expireAt
+		existing.CAS = s.casSeq.Add(1)
+		s.bump(sh, existing, now)
+	} else {
+		it := &Item{Key: string(key), Value: v, Flags: flags, ExpireAt: expireAt, CAS: s.casSeq.Add(1), lastBump: time.Now().UnixNano()}
+		sh.table[it.Key] = it
+		sh.lruPushFront(it)
+		sh.bytes += int64(len(v))
+		s.Stats.CurrItems.Add(1)
+		s.Stats.TotalItems.Add(1)
+	}
+	s.evictLocked(sh)
+	s.Stats.Sets.Add(1)
+	return Stored
+}
+
+// DeleteB removes a byte-slice key; ok is false if it was absent.
+func (s *Store) DeleteB(key []byte) bool {
+	now := time.Now().Unix()
+	sh := s.shardForB(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.getLockedB(sh, key, now)
+	if it == nil {
+		return false
+	}
+	s.removeLocked(sh, it)
+	s.Stats.Deletes.Add(1)
+	return true
+}
+
+// IncrDecrB adjusts a numeric value by delta for a byte-slice key,
+// with Incr/Decr's semantics, parsing the stored value in place.
+func (s *Store) IncrDecrB(key []byte, delta uint64, incr bool) (newVal uint64, ok, numeric bool) {
+	now := time.Now().Unix()
+	sh := s.shardForB(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.getLockedB(sh, key, now)
+	if it == nil {
+		return 0, false, true
+	}
+	cur, valid := wire.ParseUint(it.Value, 64)
+	if !valid {
+		return 0, true, false
+	}
+	if incr {
+		cur += delta
+	} else if cur < delta {
+		cur = 0
+	} else {
+		cur -= delta
+	}
+	// Replace, never mutate: GetView readers may hold the old slice.
+	nv := strconv.AppendUint(nil, cur, 10)
+	sh.bytes += int64(len(nv) - len(it.Value))
+	it.Value = nv
+	it.CAS = s.casSeq.Add(1)
+	s.bump(sh, it, now)
+	return cur, true, true
+}
+
+// TouchB updates an item's expiry without reading it, by byte-slice
+// key.
+func (s *Store) TouchB(key []byte, exptime int64) bool {
+	now := time.Now().Unix()
+	sh := s.shardForB(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	it := s.getLockedB(sh, key, now)
+	if it == nil {
+		return false
+	}
+	it.ExpireAt = normalizeExptime(exptime, now)
+	return true
+}

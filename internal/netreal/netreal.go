@@ -10,6 +10,20 @@
 // cheap (parked in the kernel most of the time) and plays the role
 // the paper's I/O subsystem delegates to the OS: detecting readiness
 // and ordering completions.
+//
+// The data path is allocation-free at steady state:
+//
+//   - Reads land directly in fixed-size chunks recycled through a
+//     process-wide sync.Pool; the pump fills the tail chunk in place
+//     (no intermediate copy, no append-grow), and fully consumed
+//     chunks return to the pool as the consumer drains, so a
+//     connection's buffered memory tracks its backlog instead of its
+//     high-water mark.
+//   - Writes coalesce in a per-connection buffer until Flush (the
+//     icilk read path flushes automatically before suspending), so a
+//     burst of small replies costs one syscall. A large payload is
+//     sent with net.Buffers (writev) alongside the pending small
+//     writes rather than being copied through the buffer.
 package netreal
 
 import (
@@ -25,16 +39,47 @@ import (
 // server consumes, providing backpressure.
 const bufferSoftCap = 1 << 20
 
+// chunkSize is the pump's read granularity and the unit of pooled
+// buffer memory.
+const chunkSize = 16 * 1024
+
+// writeBufFlushAt flushes the write buffer inline once it holds this
+// many bytes, bounding per-connection pending-output memory even if
+// the handler never reaches a flush point.
+const writeBufFlushAt = 32 * 1024
+
+// writeVecThreshold is the payload size at or above which Write
+// bypasses the coalescing copy and issues a vectored write (pending
+// buffer + payload in one writev syscall).
+const writeVecThreshold = 2 * 1024
+
+// chunk is one pooled buffer segment of a connection's read queue.
+// The consumer owns data[r:w]; the pump owns data[w:] of the tail
+// chunk (disjoint ranges, so the pump fills while the consumer
+// drains). A chunk may be returned to the pool only when fully
+// consumed AND full (r == w == chunkSize): the pump never writes to a
+// full chunk, so a full drained chunk is provably unreferenced.
+type chunk struct {
+	data [chunkSize]byte
+	r, w int
+	next *chunk
+}
+
+// chunkPool recycles read chunks across all connections.
+var chunkPool sync.Pool
+
 // Stats aggregates I/O accounting across a set of adapted
 // connections: how many bytes the pumps are holding (memory pressure
-// from slow consumers), how often backpressure engaged, and total
-// socket traffic. Wrap charges connections to DefaultStats; WrapStats
-// takes an explicit instance.
+// from slow consumers), how often backpressure engaged, buffer-pool
+// recycling effectiveness, and total socket traffic. Wrap charges
+// connections to DefaultStats; WrapStats takes an explicit instance.
 type Stats struct {
-	buffered  atomic.Int64
-	readBytes atomic.Int64
-	pauses    atomic.Int64
-	conns     atomic.Int64
+	buffered   atomic.Int64
+	readBytes  atomic.Int64
+	pauses     atomic.Int64
+	conns      atomic.Int64
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
 }
 
 // DefaultStats is the process-wide account used by Wrap.
@@ -47,11 +92,35 @@ func (s *Stats) Buffered() int64 { return s.buffered.Load() }
 // ReadBytes returns total bytes pumped off sockets.
 func (s *Stats) ReadBytes() int64 { return s.readBytes.Load() }
 
-// Pauses returns how many times a pump paused on backpressure.
+// Pauses returns how many backpressure episodes pumps have entered.
 func (s *Stats) Pauses() int64 { return s.pauses.Load() }
 
 // Conns returns the number of live adapted connections.
 func (s *Stats) Conns() int64 { return s.conns.Load() }
+
+// PoolHits returns how many chunk acquisitions were served from the
+// recycling pool.
+func (s *Stats) PoolHits() int64 { return s.poolHits.Load() }
+
+// PoolMisses returns how many chunk acquisitions had to allocate.
+func (s *Stats) PoolMisses() int64 { return s.poolMisses.Load() }
+
+// getChunk takes a reset chunk from the pool, charging hit/miss
+// accounting to s.
+func (s *Stats) getChunk() *chunk {
+	if c, _ := chunkPool.Get().(*chunk); c != nil {
+		s.poolHits.Add(1)
+		return c
+	}
+	s.poolMisses.Add(1)
+	return new(chunk)
+}
+
+// putChunk recycles a chunk no goroutine references.
+func putChunk(c *chunk) {
+	c.r, c.w, c.next = 0, 0, nil
+	chunkPool.Put(c)
+}
 
 // RegisterMetrics exports the account into reg.
 func (s *Stats) RegisterMetrics(reg *metrics.Registry) {
@@ -67,6 +136,12 @@ func (s *Stats) RegisterMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("icilk_net_backpressure_pauses_total",
 		"Read-pump pauses because a connection buffer exceeded the soft cap.",
 		func() float64 { return float64(s.Pauses()) })
+	reg.CounterFunc("icilk_net_pool_hits_total",
+		"Read-buffer chunk acquisitions served from the recycling pool.",
+		func() float64 { return float64(s.PoolHits()) })
+	reg.CounterFunc("icilk_net_pool_misses_total",
+		"Read-buffer chunk acquisitions that had to allocate a fresh chunk.",
+		func() float64 { return float64(s.PoolMisses()) })
 }
 
 // Conn adapts a net.Conn to the icilk.Conn interface.
@@ -74,14 +149,19 @@ type Conn struct {
 	nc    net.Conn
 	stats *Stats
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []byte
-	pos    int
-	acct   int    // bytes currently charged to stats.buffered
-	rerr   error  // terminal read error (io.EOF after drain)
-	notify func() // armed one-shot readiness callback
-	closed bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	head, tail *chunk // read queue; tail is the pump's fill target
+	buffered   int    // unread bytes across the queue
+	acct       int    // bytes currently charged to stats.buffered
+	rerr       error  // terminal read error (io.EOF after drain)
+	notify     func() // armed one-shot readiness callback
+	closed     bool
+
+	wmu  sync.Mutex
+	wbuf []byte      // coalesced pending writes
+	vec  net.Buffers // reusable writev vector
+	werr error       // sticky write error
 }
 
 // Wrap starts the read pump over nc and returns the adapter, charging
@@ -100,9 +180,9 @@ func WrapStats(nc net.Conn, stats *Stats) *Conn {
 
 // syncAcct reconciles stats.buffered with this connection's current
 // buffered byte count. Must be called with c.mu held after any change
-// to buf/pos/closed.
+// to buffered/closed.
 func (c *Conn) syncAcct() {
-	cur := len(c.buf) - c.pos
+	cur := c.buffered
 	if c.closed {
 		cur = 0
 	}
@@ -112,15 +192,32 @@ func (c *Conn) syncAcct() {
 	}
 }
 
-// pump moves bytes from the socket into the buffer and fires
-// readiness.
+// pump moves bytes from the socket straight into pooled chunks and
+// fires readiness. Only the pump appends chunks and only the pump
+// writes data[w:] of the tail chunk; everything else is guarded by
+// c.mu.
 func (c *Conn) pump() {
-	var chunk [16 * 1024]byte
 	for {
-		n, err := c.nc.Read(chunk[:])
+		c.mu.Lock()
+		cur := c.tail
+		if cur == nil || cur.w == chunkSize {
+			cur = c.stats.getChunk()
+			if c.tail == nil {
+				c.head, c.tail = cur, cur
+			} else {
+				c.tail.next = cur
+				c.tail = cur
+			}
+		}
+		w0 := cur.w
+		c.mu.Unlock()
+
+		n, err := c.nc.Read(cur.data[w0:])
+
 		c.mu.Lock()
 		if n > 0 {
-			c.buf = append(c.buf, chunk[:n]...)
+			cur.w = w0 + n
+			c.buffered += n
 			c.stats.readBytes.Add(int64(n))
 			c.syncAcct()
 		}
@@ -130,12 +227,13 @@ func (c *Conn) pump() {
 		fn := c.notify
 		c.notify = nil
 		c.cond.Broadcast()
-		// Backpressure: wait for the consumer to drain.
-		if len(c.buf)-c.pos > bufferSoftCap && c.rerr == nil && !c.closed {
+		// Backpressure: one pause episode per over-cap crossing, then
+		// wait for the consumer to drain below the cap.
+		if c.buffered > bufferSoftCap && c.rerr == nil && !c.closed {
 			c.stats.pauses.Add(1)
-		}
-		for len(c.buf)-c.pos > bufferSoftCap && c.rerr == nil && !c.closed {
-			c.cond.Wait()
+			for c.buffered > bufferSoftCap && c.rerr == nil && !c.closed {
+				c.cond.Wait()
+			}
 		}
 		stop := c.rerr != nil || c.closed
 		c.mu.Unlock()
@@ -148,24 +246,68 @@ func (c *Conn) pump() {
 	}
 }
 
+// releaseDrainedLocked returns the whole queue to the pool. Callers
+// hold c.mu and must have established that the pump can no longer
+// touch the chunks (it has observed rerr/closed and stopped, which is
+// implied by rerr being set before the final broadcast).
+func (c *Conn) releaseDrainedLocked() {
+	for ch := c.head; ch != nil; {
+		next := ch.next
+		putChunk(ch)
+		ch = next
+	}
+	c.head, c.tail = nil, nil
+}
+
 // TryRead copies buffered bytes without blocking; n==0 with nil error
 // means "would block"; io.EOF after the peer closes and the buffer
 // drains.
 func (c *Conn) TryRead(p []byte) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.pos < len(c.buf) {
-		n := copy(p, c.buf[c.pos:])
-		c.pos += n
-		if c.pos == len(c.buf) {
-			c.buf = c.buf[:0]
-			c.pos = 0
+	if c.buffered > 0 {
+		n := 0
+		for n < len(p) && c.buffered > 0 {
+			ch := c.head
+			if ch.r == ch.w {
+				// Fully consumed interior chunk (always full: the pump
+				// moves on only when a chunk fills).
+				c.head = ch.next
+				putChunk(ch)
+				continue
+			}
+			m := copy(p[n:], ch.data[ch.r:ch.w])
+			ch.r += m
+			n += m
+			c.buffered -= m
+			if ch.r == chunkSize {
+				c.head = ch.next
+				if c.head == nil {
+					c.tail = nil
+				}
+				putChunk(ch)
+			}
+		}
+		if c.buffered == 0 {
+			if c.rerr != nil {
+				// The pump has stopped; recycle the partially filled
+				// tail instead of retaining it until GC.
+				c.releaseDrainedLocked()
+			}
 			c.cond.Broadcast() // release pump backpressure
+		} else if c.buffered <= bufferSoftCap {
+			c.cond.Broadcast()
 		}
 		c.syncAcct()
 		return n, nil
 	}
 	if c.rerr != nil {
+		// A consumer may first observe the terminal error here, after a
+		// prior call drained the data while the pump was still running:
+		// the partially filled tail chunk is still queued. The pump has
+		// stopped (rerr is set before its final broadcast), so release
+		// it now rather than retaining it until GC.
+		c.releaseDrainedLocked()
 		if c.rerr == io.EOF {
 			return 0, io.EOF
 		}
@@ -178,7 +320,7 @@ func (c *Conn) TryRead(p []byte) (int, error) {
 // if data or a terminal error is already pending).
 func (c *Conn) ArmRead(fn func()) {
 	c.mu.Lock()
-	if c.pos < len(c.buf) || c.rerr != nil {
+	if c.buffered > 0 || c.rerr != nil {
 		c.mu.Unlock()
 		fn()
 		return
@@ -191,15 +333,86 @@ func (c *Conn) ArmRead(fn func()) {
 	c.mu.Unlock()
 }
 
-// Write sends bytes to the peer (delegates to the socket; may block
-// on TCP backpressure, which parks only the calling goroutine).
-func (c *Conn) Write(p []byte) (int, error) { return c.nc.Write(p) }
+// Write queues bytes for the peer. Small writes coalesce in the
+// connection's write buffer until Flush (or the buffer crossing its
+// flush threshold); a payload of writeVecThreshold bytes or more is
+// sent immediately with a vectored write alongside any pending bytes,
+// without copying. p may be reused as soon as Write returns. A
+// transport error is sticky and surfaces on this and every later
+// write or flush.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return 0, c.werr
+	}
+	if len(p) >= writeVecThreshold {
+		if len(c.wbuf) == 0 {
+			if _, err := c.nc.Write(p); err != nil {
+				c.werr = err
+				return 0, err
+			}
+			return len(p), nil
+		}
+		c.vec = append(c.vec[:0], c.wbuf, p)
+		if _, err := c.vec.WriteTo(c.nc); err != nil {
+			c.werr = err
+			c.wbuf = c.wbuf[:0]
+			return 0, err
+		}
+		c.wbuf = c.wbuf[:0]
+		return len(p), nil
+	}
+	c.wbuf = append(c.wbuf, p...)
+	if len(c.wbuf) >= writeBufFlushAt {
+		return len(p), c.flushLocked()
+	}
+	return len(p), nil
+}
 
-// WriteString sends s.
-func (c *Conn) WriteString(s string) (int, error) { return c.nc.Write([]byte(s)) }
+// WriteString queues s without converting it to a byte slice.
+func (c *Conn) WriteString(s string) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return 0, c.werr
+	}
+	c.wbuf = append(c.wbuf, s...)
+	if len(c.wbuf) >= writeBufFlushAt {
+		return len(s), c.flushLocked()
+	}
+	return len(s), nil
+}
 
-// Close shuts the socket and the pump down.
+// Flush sends all pending coalesced writes in one syscall. The icilk
+// read path calls it automatically before suspending on an I/O
+// future, so protocol handlers only need explicit flushes at response
+// boundaries not followed by a read.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Conn) flushLocked() error {
+	if c.werr != nil {
+		return c.werr
+	}
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	_, err := c.nc.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	if err != nil {
+		c.werr = err
+	}
+	return err
+}
+
+// Close flushes pending writes and shuts the socket and the pump
+// down. Already-buffered reads remain consumable via TryRead.
 func (c *Conn) Close() error {
+	c.Flush()
 	c.mu.Lock()
 	if !c.closed {
 		c.closed = true

@@ -109,6 +109,9 @@ func TestWriteRoundTrip(t *testing.T) {
 	if _, err := c.WriteString("ping"); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	waitReadable(t, c)
 	var buf [8]byte
 	n, _ := c.TryRead(buf[:])

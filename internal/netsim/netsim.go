@@ -65,6 +65,24 @@ func (b *buffer) write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// writeString appends s without converting it to a byte slice.
+func (b *buffer) writeString(s string) (int, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, ErrClosed
+	}
+	b.data = append(b.data, s...)
+	fn := b.notify
+	b.notify = nil
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return len(s), nil
+}
+
 // tryRead copies up to len(p) bytes without blocking. n==0 with
 // err==nil means no data available right now.
 func (b *buffer) tryRead(p []byte) (int, error) {
@@ -161,6 +179,13 @@ type Endpoint struct {
 	wr *buffer // we write here, peer reads
 	// ID is a caller-assigned connection identifier (diagnostics).
 	ID int
+
+	// Write coalescing (BufferWrites). Guarded by wmu so concurrent
+	// writers (request handler plus deferred-completion routines)
+	// interleave whole writes, matching the unbuffered behaviour.
+	wmu      sync.Mutex
+	buffered bool
+	wbuf     []byte
 }
 
 // Pipe creates a connected pair of endpoints.
@@ -169,12 +194,56 @@ func Pipe() (a, b *Endpoint) {
 	return &Endpoint{rd: x, wr: y}, &Endpoint{rd: y, wr: x}
 }
 
+// BufferWrites switches the endpoint to coalescing writes: Write and
+// WriteString accumulate locally and nothing reaches the peer until
+// Flush. Servers enable it on accepted endpoints so a burst of small
+// replies becomes one peer notification (mirroring netreal's buffered
+// writer, and keeping both substrates on one Conn contract); clients
+// stay write-through so request pacing is unaffected.
+func (e *Endpoint) BufferWrites() {
+	e.wmu.Lock()
+	e.buffered = true
+	e.wmu.Unlock()
+}
+
 // Write sends p to the peer. It never blocks (the buffer is
-// unbounded) and returns ErrClosed after Close.
-func (e *Endpoint) Write(p []byte) (int, error) { return e.wr.write(p) }
+// unbounded) and returns ErrClosed after Close. Under BufferWrites, p
+// is coalesced until Flush and may be reused once Write returns.
+func (e *Endpoint) Write(p []byte) (int, error) {
+	e.wmu.Lock()
+	if e.buffered {
+		e.wbuf = append(e.wbuf, p...)
+		e.wmu.Unlock()
+		return len(p), nil
+	}
+	e.wmu.Unlock()
+	return e.wr.write(p)
+}
 
 // WriteString sends s to the peer.
-func (e *Endpoint) WriteString(s string) (int, error) { return e.wr.write([]byte(s)) }
+func (e *Endpoint) WriteString(s string) (int, error) {
+	e.wmu.Lock()
+	if e.buffered {
+		e.wbuf = append(e.wbuf, s...)
+		e.wmu.Unlock()
+		return len(s), nil
+	}
+	e.wmu.Unlock()
+	return e.wr.writeString(s)
+}
+
+// Flush delivers coalesced writes to the peer in one notification.
+// Without BufferWrites it is a no-op (writes are already through).
+func (e *Endpoint) Flush() error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if len(e.wbuf) == 0 {
+		return nil
+	}
+	_, err := e.wr.write(e.wbuf)
+	e.wbuf = e.wbuf[:0]
+	return err
+}
 
 // TryRead copies available bytes into p without blocking; n==0,
 // err==nil means "would block". err==io.EOF means the peer closed and
@@ -195,9 +264,11 @@ func (e *Endpoint) Readable() bool { return e.rd.readable() }
 // Buffered returns the number of bytes waiting to be read.
 func (e *Endpoint) Buffered() int { return e.rd.buffered() }
 
-// Close shuts down both directions: the peer sees EOF after draining,
-// and further writes on either side fail.
+// Close shuts down both directions: pending buffered writes are
+// flushed, the peer sees EOF after draining, and further writes on
+// either side fail.
 func (e *Endpoint) Close() error {
+	e.Flush()
 	e.wr.closeBuf()
 	e.rd.closeBuf()
 	return nil

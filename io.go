@@ -3,8 +3,8 @@ package icilk
 import "io"
 
 // Conn is the connection surface the I/O-future layer needs. It is
-// satisfied by *netsim.Endpoint; a real non-blocking socket wrapper
-// could implement it equally well.
+// satisfied by *netsim.Endpoint and *netreal.Conn; a different
+// non-blocking socket wrapper could implement it equally well.
 type Conn interface {
 	// TryRead copies available bytes without blocking; n==0 with a
 	// nil error means "would block"; io.EOF means the peer closed.
@@ -13,8 +13,16 @@ type Conn interface {
 	// becomes readable (or hits EOF). If readable now, the callback
 	// must run synchronously.
 	ArmRead(fn func())
-	// Write sends bytes to the peer.
+	// Write sends bytes to the peer. Implementations may coalesce
+	// writes until Flush; the byte slice may be reused once Write
+	// returns.
 	Write(p []byte) (n int, err error)
+	// Flush delivers any coalesced writes to the peer. Runtime.Read
+	// flushes automatically before suspending on an I/O future, so
+	// handlers only need explicit flushes at response boundaries that
+	// are not followed by a read on the same task (e.g. completions
+	// written from a separate future routine).
+	Flush() error
 }
 
 // Read reads from c into p with synchronous semantics but
@@ -29,6 +37,11 @@ func (r *Runtime) Read(t *Task, c Conn, p []byte) (int, error) {
 		if n > 0 || err != nil {
 			return n, err
 		}
+		// About to suspend: push any coalesced responses to the peer
+		// first, or a closed-loop client would never send the next
+		// request. A flush error is sticky in the writer and surfaces
+		// on the handler's next write; the read side proceeds.
+		c.Flush()
 		f := r.rt.NewIOFuture()
 		c.ArmRead(func() { r.CompleteIO(f, nil) })
 		f.Get(t)
@@ -56,6 +69,13 @@ func (r *Runtime) ReadFull(t *Task, c Conn, p []byte) (int, error) {
 // blocks, suspending the calling task on I/O futures when the stream
 // runs dry. Protocol handlers (the Memcached text protocol) build on
 // it.
+//
+// The *Bytes accessors return views into the reader's internal
+// buffer: valid only until the next call that can fill or compact the
+// buffer (any Read*/Peek on the same reader). Handlers that need a
+// field across that boundary — e.g. a key parsed from a command line
+// that must survive reading the value block — copy it to their own
+// scratch first.
 type LineReader struct {
 	r   *Runtime
 	c   Conn
@@ -68,19 +88,26 @@ func (r *Runtime) NewLineReader(c Conn) *LineReader {
 	return &LineReader{r: r, c: c, buf: make([]byte, 0, 512)}
 }
 
-// fill reads more data, suspending if necessary. Returns an error on
-// EOF.
+// fill reads more data directly into the buffer's spare capacity
+// (compacting the consumed prefix first, growing only when full),
+// suspending if necessary. Steady state performs no allocation.
+// Returns an error on EOF.
 func (lr *LineReader) fill(t *Task) error {
-	// Compact consumed prefix.
+	// Compact consumed prefix. This invalidates outstanding *Bytes
+	// views — see the type comment.
 	if lr.pos > 0 {
 		rest := copy(lr.buf, lr.buf[lr.pos:])
 		lr.buf = lr.buf[:rest]
 		lr.pos = 0
 	}
-	var chunk [512]byte
-	n, err := lr.r.Read(t, lr.c, chunk[:])
+	if len(lr.buf) == cap(lr.buf) {
+		grown := make([]byte, len(lr.buf), 2*cap(lr.buf))
+		copy(grown, lr.buf)
+		lr.buf = grown
+	}
+	n, err := lr.r.Read(t, lr.c, lr.buf[len(lr.buf):cap(lr.buf)])
 	if n > 0 {
-		lr.buf = append(lr.buf, chunk[:n]...)
+		lr.buf = lr.buf[:len(lr.buf)+n]
 		return nil
 	}
 	if err != nil {
@@ -90,8 +117,20 @@ func (lr *LineReader) fill(t *Task) error {
 }
 
 // ReadLine returns the next CRLF- or LF-terminated line (without the
-// terminator), suspending until one is available.
+// terminator), suspending until one is available. The line is copied
+// into a fresh string; hot paths use ReadLineBytes.
 func (lr *LineReader) ReadLine(t *Task) (string, error) {
+	line, err := lr.ReadLineBytes(t)
+	if err != nil {
+		return "", err
+	}
+	return string(line), nil
+}
+
+// ReadLineBytes returns the next CRLF- or LF-terminated line (without
+// the terminator) as a view into the internal buffer, suspending
+// until one is available. Valid until the next read on this reader.
+func (lr *LineReader) ReadLineBytes(t *Task) ([]byte, error) {
 	for {
 		if i := indexByte(lr.buf[lr.pos:], '\n'); i >= 0 {
 			line := lr.buf[lr.pos : lr.pos+i]
@@ -100,24 +139,37 @@ func (lr *LineReader) ReadLine(t *Task) (string, error) {
 			if len(line) > 0 && line[len(line)-1] == '\r' {
 				line = line[:len(line)-1]
 			}
-			return string(line), nil
+			return line, nil
 		}
 		if err := lr.fill(t); err != nil {
-			return "", err
+			return nil, err
 		}
 	}
 }
 
 // ReadBlock returns the next n bytes followed by CRLF (the Memcached
-// data-block framing), suspending until available.
+// data-block framing), suspending until available. The block is a
+// fresh copy the caller may retain.
 func (lr *LineReader) ReadBlock(t *Task, n int) ([]byte, error) {
+	block, err := lr.ReadBlockBytes(t, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, block)
+	return out, nil
+}
+
+// ReadBlockBytes returns the next n bytes followed by CRLF as a view
+// into the internal buffer, suspending until available. Valid until
+// the next read on this reader.
+func (lr *LineReader) ReadBlockBytes(t *Task, n int) ([]byte, error) {
 	for len(lr.buf)-lr.pos < n+2 {
 		if err := lr.fill(t); err != nil {
 			return nil, err
 		}
 	}
-	block := make([]byte, n)
-	copy(block, lr.buf[lr.pos:lr.pos+n])
+	block := lr.buf[lr.pos : lr.pos+n]
 	lr.pos += n + 2 // skip trailing CRLF
 	return block, nil
 }
@@ -136,15 +188,28 @@ func (lr *LineReader) PeekByte(t *Task) (byte, error) {
 }
 
 // ReadExact returns the next n bytes with no framing assumptions
-// (binary protocols), suspending until available.
+// (binary protocols), suspending until available. The bytes are a
+// fresh copy the caller may retain.
 func (lr *LineReader) ReadExact(t *Task, n int) ([]byte, error) {
+	block, err := lr.ReadExactBytes(t, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, block)
+	return out, nil
+}
+
+// ReadExactBytes returns the next n bytes with no framing assumptions
+// as a view into the internal buffer, suspending until available.
+// Valid until the next read on this reader.
+func (lr *LineReader) ReadExactBytes(t *Task, n int) ([]byte, error) {
 	for len(lr.buf)-lr.pos < n {
 		if err := lr.fill(t); err != nil {
 			return nil, err
 		}
 	}
-	out := make([]byte, n)
-	copy(out, lr.buf[lr.pos:lr.pos+n])
+	out := lr.buf[lr.pos : lr.pos+n]
 	lr.pos += n
 	return out, nil
 }

@@ -122,6 +122,8 @@ func TestAdminEndToEnd(t *testing.T) {
 		`icilk_nonempty_deques{level="1"}`,
 		"icilk_io_queue_capacity 4096",
 		"icilk_net_read_bytes_total",
+		"# TYPE icilk_net_pool_hits_total counter",
+		"# TYPE icilk_net_pool_misses_total counter",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
