@@ -121,8 +121,11 @@ type Config struct {
 	// TraceCapacity, if positive, enables the scheduler event trace
 	// (see Runtime.Trace) with a ring of that many events.
 	TraceCapacity int
-	// IOQueueCapacity bounds the I/O completion queue (submitters
-	// block beyond it). Default 4096, the paper-era hard-coded value.
+	// IOQueueCapacity bounds the I/O completion handoff channel.
+	// Submissions beyond it spill to an overflow list (Submit never
+	// blocks; see the icilk_io_queue_* and icilk_io_spills_total
+	// metrics for saturation). Default 4096, the paper-era
+	// hard-coded value.
 	IOQueueCapacity int
 	// DisableRecycling turns off the scheduler's task-context and
 	// deque recycling, so every spawn/submit allocates fresh — the

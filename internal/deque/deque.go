@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"icilk/internal/invariant"
 )
 
 // State enumerates the deque lifecycle states.
@@ -52,6 +54,37 @@ const (
 	// the pool's Get path) leaves this state.
 	Recycled
 )
+
+// legalTransitions is the deque lifecycle's edge table, asserted on
+// every state change in icilk_debug builds. The legal edges are
+// exactly the protocol of the package doc:
+//
+//	Active    → Suspended  (Suspend: owner's failed get)
+//	Active    → Resumable  (Abandon: priority preemption)
+//	Active    → Dead       (MarkDeadIfDone: owner drained it)
+//	Suspended → Resumable  (MarkResumable: awaited future completed)
+//	Resumable → Active     (TakeForThief mug / TryMug: thief adoption)
+//	Dead      → Recycled   (TakeForRecycle: single recycler's claim)
+//	Recycled  → Active     (Reset: leaving the free pool)
+//
+// Anything else — a double suspend, a resume of a dead deque, a second
+// TakeForRecycle, a Reset of a live deque — is a protocol violation.
+var legalTransitions = [5][5]bool{
+	Active:    {Suspended: true, Resumable: true, Dead: true},
+	Suspended: {Resumable: true},
+	Resumable: {Active: true},
+	Dead:      {Recycled: true},
+	Recycled:  {Active: true},
+}
+
+// setState performs a checked state transition; callers hold d.mu.
+func (d *Deque) setState(to State) {
+	if invariant.Enabled {
+		invariant.Checkf(legalTransitions[d.state][to],
+			"deque(level %d): illegal transition %v -> %v", d.level.Load(), d.state, to)
+	}
+	d.state = to
+}
 
 func (s State) String() string {
 	switch s {
@@ -137,6 +170,13 @@ func (d *Deque) updateLive() {
 // regular queue if so.
 func (d *Deque) PushBottom(x any) (needsEnqueue bool) {
 	d.mu.Lock()
+	if invariant.Enabled {
+		// Only the owner pushes, and an owner's deque is Active: a push
+		// on any other state means a worker kept using a deque it had
+		// suspended, abandoned, or recycled.
+		invariant.Checkf(d.state == Active,
+			"deque(level %d): PushBottom on %v deque", d.level.Load(), d.state)
+	}
 	d.items = append(d.items, x)
 	d.updateLive()
 	needsEnqueue = !d.inRegular && !d.inMugging
@@ -152,6 +192,10 @@ func (d *Deque) PushBottom(x any) (needsEnqueue bool) {
 func (d *Deque) PopBottom() (x any, ok bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if invariant.Enabled {
+		invariant.Checkf(d.state == Active,
+			"deque(level %d): PopBottom on %v deque", d.level.Load(), d.state)
+	}
 	n := len(d.items)
 	if n == 0 {
 		return nil, false
@@ -204,7 +248,7 @@ func (d *Deque) Suspend(blocked any) (stealable bool) {
 	if d.state != Active {
 		panic("deque: Suspend on " + d.state.String() + " deque")
 	}
-	d.state = Suspended
+	d.setState(Suspended)
 	d.blocked = blocked
 	d.hasBlocked = true
 	d.immediately = false
@@ -225,7 +269,7 @@ func (d *Deque) Abandon(ready any, toMugging bool) (needsEnqueue bool) {
 	if d.state != Active {
 		panic("deque: Abandon on " + d.state.String() + " deque")
 	}
-	d.state = Resumable
+	d.setState(Resumable)
 	d.blocked = ready
 	d.hasBlocked = true
 	d.immediately = true
@@ -251,7 +295,7 @@ func (d *Deque) MarkResumable() (needsEnqueue bool) {
 	if d.state != Suspended {
 		panic("deque: MarkResumable on " + d.state.String() + " deque")
 	}
-	d.state = Resumable
+	d.setState(Resumable)
 	d.immediately = false
 	d.updateLive()
 	needsEnqueue = !d.inRegular && !d.inMugging
@@ -311,7 +355,7 @@ func (d *Deque) TakeForThief(fromMugging bool) (res PopResult, frame any, pushBa
 		frame = d.blocked
 		d.blocked = nil
 		d.hasBlocked = false
-		d.state = Active
+		d.setState(Active)
 		d.immediately = false
 		d.updateLive()
 		if len(d.items) > 0 && !d.inRegular && !d.inMugging {
@@ -360,7 +404,7 @@ func (d *Deque) TryMug() (frame any, ok bool) {
 	frame = d.blocked
 	d.blocked = nil
 	d.hasBlocked = false
-	d.state = Active
+	d.setState(Active)
 	d.immediately = false
 	d.updateLive()
 	return frame, true
@@ -381,7 +425,7 @@ func (d *Deque) MarkDeadIfDone() bool {
 	if len(d.items) > 0 {
 		return false
 	}
-	d.state = Dead
+	d.setState(Dead)
 	d.updateLive()
 	return true
 }
@@ -421,7 +465,7 @@ func (d *Deque) TakeForRecycle() bool {
 	if d.state != Dead || d.inRegular || d.inMugging {
 		return false
 	}
-	d.state = Recycled
+	d.setState(Recycled)
 	return true
 }
 
@@ -436,7 +480,7 @@ func (d *Deque) Reset(level int) {
 	if d.state != Recycled {
 		panic("deque: Reset on " + d.state.String() + " deque")
 	}
-	d.state = Active
+	d.setState(Active)
 	d.level.Store(int32(level))
 	d.items = d.items[:0]
 	d.blocked = nil

@@ -1,0 +1,167 @@
+//go:build icilk_debug
+
+package deque
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"icilk/internal/invariant/perturb"
+)
+
+// TestPerturbOwnerThiefConservation runs the owner/thief workload
+// under seeded perturbation with the state-transition legality table
+// armed: every pushed item must be consumed exactly once, and every
+// state edge the deque takes along the way is checked against the
+// lifecycle automaton by setState.
+func TestPerturbOwnerThiefConservation(t *testing.T) {
+	for _, seed := range perturb.Seeds([]uint64{0x1, 0xdecade, 0xfeedbeef}) {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			perturb.Enable(seed)
+			defer perturb.Disable()
+
+			d := New(0, nil)
+			const items = 3000
+			const thieves = 3
+
+			var mu sync.Mutex
+			seen := make(map[int]int)
+			note := func(v any) {
+				mu.Lock()
+				seen[v.(int)]++
+				mu.Unlock()
+			}
+
+			var wg sync.WaitGroup
+			done := make(chan struct{})
+			for i := 0; i < thieves; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						perturb.At(perturb.Steal)
+						if v, _, ok := d.StealTop(); ok {
+							note(v)
+							continue
+						}
+						select {
+						case <-done:
+							for {
+								v, _, ok := d.StealTop()
+								if !ok {
+									return
+								}
+								note(v)
+							}
+						default:
+							runtime.Gosched() // don't starve the owner on 1 CPU
+						}
+					}
+				}()
+			}
+
+			for i := 0; i < items; i++ {
+				perturb.At(perturb.Spawn)
+				d.PushBottom(i)
+				if i%3 == 0 {
+					if v, ok := d.PopBottom(); ok {
+						note(v)
+					}
+				}
+			}
+			close(done)
+			wg.Wait()
+			for {
+				v, ok := d.PopBottom()
+				if !ok {
+					break
+				}
+				note(v)
+			}
+
+			mu.Lock()
+			defer mu.Unlock()
+			if len(seen) != items {
+				t.Fatalf("consumed %d distinct items, want %d", len(seen), items)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Fatalf("item %d consumed %d times", v, n)
+				}
+			}
+		})
+	}
+}
+
+// TestPerturbLifecycleCycles drives whole deque lifecycles —
+// Active → Suspended → Resumable → (mug) → Active → Dead → Recycled →
+// Active — with thieves racing the owner at every step. The legality
+// table turns any off-automaton edge (double recycle, resume of a dead
+// deque, push on a suspended one) into a panic.
+func TestPerturbLifecycleCycles(t *testing.T) {
+	for _, seed := range perturb.Seeds([]uint64{0x1, 0xdecade, 0xfeedbeef}) {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			perturb.Enable(seed)
+			defer perturb.Disable()
+
+			d := New(0, nil)
+			for round := 0; round < 400; round++ {
+				d.PushBottom(round)
+				perturb.At(perturb.Suspend)
+				d.Suspend("blocked")
+				d.MarkResumable()
+
+				// Thieves race to mug the resumable deque and steal the
+				// remaining frame; exactly one mug may win.
+				var wg sync.WaitGroup
+				var mu sync.Mutex
+				mugs := 0
+				for i := 0; i < 3; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						perturb.At(perturb.Mug)
+						if v, ok := d.TryMug(); ok {
+							if v.(string) != "blocked" {
+								t.Errorf("round %d: mug delivered %v", round, v)
+							}
+							mu.Lock()
+							mugs++
+							mu.Unlock()
+						}
+						perturb.At(perturb.Steal)
+						d.TryStealTop()
+					}()
+				}
+				wg.Wait()
+				if mugs != 1 {
+					t.Fatalf("round %d: %d muggings, want exactly 1", round, mugs)
+				}
+
+				// Simulate the pool's lazy-removal pops: the deque was
+				// enqueued once (PushBottom set its presence flag), so the
+				// queue still holds one copy; popping it via TakeForThief
+				// clears the flag and drains any frames the racers left
+				// (re-enqueues signalled by pushBack are popped again).
+				for {
+					res, _, pushBack := d.TakeForThief(false)
+					if res == PopDiscard && !pushBack {
+						break
+					}
+				}
+				if !d.MarkDeadIfDone() {
+					t.Fatalf("round %d: deque not dead after drain", round)
+				}
+				if !d.TakeForRecycle() {
+					t.Fatalf("round %d: recycle claim failed", round)
+				}
+				d.Reset(0)
+				if d.State() != Active {
+					t.Fatalf("round %d: state %v after Reset", round, d.State())
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,8 @@ package epoch
 import (
 	"sync"
 	"sync/atomic"
+
+	"icilk/internal/invariant"
 )
 
 // status bit layout for Participant.state: bit 0 is the "pinned" flag,
@@ -112,8 +114,18 @@ func (c *Collector) Retire(fn func()) {
 	if slot.epoch != e && len(slot.fns) > 0 {
 		// The slot still holds callbacks from epoch e-3; that can only
 		// happen if Collect hasn't run for three epochs, which the
-		// advance protocol prevents (Collect drains before reuse). Be
-		// defensive: run them now, they are long safe.
+		// advance protocol prevents (a pinned retirer blocks the global
+		// epoch from advancing more than one step, and Collect drains a
+		// slot before its epoch recurs). In debug builds that protocol
+		// failure is an invariant violation — recycling the stale
+		// callbacks now would hand segments to the free pool while a
+		// lagging reader could still hold them. In normal builds, be
+		// defensive: run them, they are long safe by the time the epoch
+		// wrapped three steps.
+		if invariant.Enabled {
+			invariant.Failf("epoch: retire slot for epoch %d still holds %d callbacks from epoch %d",
+				e, len(slot.fns), slot.epoch)
+		}
 		for _, f := range slot.fns {
 			f()
 		}

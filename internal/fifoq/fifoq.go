@@ -31,6 +31,8 @@ import (
 	"sync/atomic"
 
 	"icilk/internal/epoch"
+	"icilk/internal/invariant"
+	"icilk/internal/invariant/perturb"
 )
 
 // SegSize is the number of cells per segment. Small enough that unit
@@ -132,6 +134,15 @@ func (q *Queue[T]) allocSegment(id uint64) *segment[T] {
 // recycleSegment returns a segment to the free pool. Must only be
 // called from an epoch-retire callback.
 func (q *Queue[T]) recycleSegment(s *segment[T]) {
+	if invariant.Enabled {
+		// A segment reaches the free pool only via compaction, which
+		// requires every cell consumed or poisoned; recycling one with
+		// live cells would let allocSegment scrub values a pinned
+		// reader still expects to find.
+		invariant.Checkf(s.consumed.Load() == SegSize,
+			"fifoq: recycling segment %d with only %d/%d cells consumed",
+			s.id, s.consumed.Load(), SegSize)
+	}
 	q.poolMu.Lock()
 	if len(q.segPool) < 16 { // bound pool growth
 		q.segPool = append(q.segPool, s)
@@ -151,6 +162,12 @@ func (q *Queue[T]) findSegment(ticket uint64) *segment[T] {
 	segID := ticket / SegSize
 	for {
 		d := q.dir.Load()
+		if invariant.Enabled {
+			// Stretch the directory-snapshot window: everything below
+			// must tolerate d being replaced concurrently (the lazy
+			// install re-validates under growMu for exactly that reason).
+			perturb.At(perturb.Check)
+		}
 		if segID < d.base {
 			// The segment was compacted away, which is only possible
 			// if every cell in it was consumed or poisoned. The one
@@ -171,18 +188,31 @@ func (q *Queue[T]) findSegment(ticket uint64) *segment[T] {
 		if s := d.segs[idx].Load(); s != nil {
 			return s
 		}
-		// Lazily create the segment.
-		s := q.allocSegment(segID)
-		if d.segs[idx].CompareAndSwap(nil, s) {
-			return s
+		// Lazily create the segment. Installation must be serialized
+		// with directory replacement (growMu): a bare CAS into d races
+		// replaceDirectory — if the copy loop reads this slot as nil and
+		// installs the new directory before our CAS lands, the CAS still
+		// succeeds against the now-dead directory and the segment is
+		// orphaned. The enqueuer then publishes its element into the
+		// orphan while every dequeuer, reading the live directory,
+		// re-creates the slot and waits forever on cells that will never
+		// fill — up to SegSize tickets (and their elements) strand at
+		// once. Holding growMu pins the directory identity across the
+		// nil-check and the store; this path runs at most once per
+		// SegSize tickets, so the lock is off the fast path.
+		q.growMu.Lock()
+		if q.dir.Load() != d {
+			// Directory replaced while we were acquiring the lock;
+			// recompute against the live one.
+			q.growMu.Unlock()
+			continue
 		}
-		// Lost the race; recycle our allocation immediately (it was
-		// never published, so no epoch delay is needed).
-		q.poolMu.Lock()
-		if len(q.segPool) < 16 {
-			q.segPool = append(q.segPool, s)
+		if d.segs[idx].Load() == nil {
+			d.segs[idx].Store(q.allocSegment(segID))
 		}
-		q.poolMu.Unlock()
+		s := d.segs[idx].Load()
+		q.growMu.Unlock()
+		return s
 	}
 }
 
@@ -272,6 +302,12 @@ func (q *Queue[T]) Enqueue(p *epoch.Participant, v T) {
 	defer p.Unpin()
 	for {
 		t := q.tail.Add(1) - 1
+		if invariant.Enabled {
+			// Stretch the ticket-to-publish window: a dequeuer granted
+			// ticket t must wait for our CAS, and the bitfield protocol
+			// must tolerate the element being claimed-but-invisible.
+			perturb.At(perturb.Enqueue)
+		}
 		seg := q.findSegment(t)
 		if seg == nil {
 			// Ticket poisoned and its segment already compacted away;
@@ -310,6 +346,9 @@ func (q *Queue[T]) Dequeue(p *epoch.Participant) (v T, ok bool) {
 			return zero, false
 		}
 		h := q.head.Add(1) - 1
+		if invariant.Enabled {
+			perturb.At(perturb.Dequeue)
+		}
 		seg := q.findSegment(h)
 		if seg == nil {
 			// Unreachable (see findSegment): a dequeue ticket's

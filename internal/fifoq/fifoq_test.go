@@ -1,9 +1,12 @@
 package fifoq
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"icilk/internal/epoch"
 )
@@ -133,6 +136,10 @@ func TestConcurrentMPMC(t *testing.T) {
 					}
 					return
 				default:
+					// Yield on the empty path: on a single-CPU host a
+					// spinning consumer can starve the producers for a
+					// very long stretch under the race detector.
+					runtime.Gosched()
 				}
 			}
 		}()
@@ -233,5 +240,86 @@ func TestLenEstimate(t *testing.T) {
 	q.Dequeue(p)
 	if q.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+// TestSegmentCreateCompactRace regression-tests the orphaned-segment
+// race: lazy segment creation used to CAS the new segment into whatever
+// directory the caller had loaded, racing replaceDirectory — if the
+// compaction's copy loop read the slot as nil and published the new
+// directory first, the CAS still succeeded against the dead directory.
+// The enqueuer then published elements into the orphan while dequeuers,
+// reading the live directory, re-created the slot and waited forever on
+// cells that never fill (up to SegSize tickets strand at once). The
+// workload keeps the queue short so segment-boundary crossings (lazy
+// creation) constantly coincide with segment death (compaction); the
+// watchdog turns a strand into a test failure instead of a suite
+// timeout. The race is probabilistic — one run is not a guaranteed
+// reproducer, but the strand, when hit, is permanent and always caught.
+func TestSegmentCreateCompactRace(t *testing.T) {
+	col := epoch.NewCollector()
+	q := New[*int](col)
+	const producers = 2
+	const consumers = 2
+	const perProducer = 30000
+
+	var got atomic.Int64
+	done := make(chan struct{})
+	finished := make(chan struct{})
+
+	go func() {
+		defer close(finished)
+		var cwg sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				part := col.Register()
+				for {
+					if _, ok := q.Dequeue(part); ok {
+						got.Add(1)
+						continue
+					}
+					select {
+					case <-done:
+						for {
+							if _, ok := q.Dequeue(part); !ok {
+								return
+							}
+							got.Add(1)
+						}
+					default:
+						runtime.Gosched() // don't starve producers on 1 CPU
+					}
+				}
+			}()
+		}
+		var pwg sync.WaitGroup
+		vals := make([][]int, producers)
+		for p := 0; p < producers; p++ {
+			vals[p] = make([]int, perProducer)
+			pwg.Add(1)
+			go func(p int) {
+				defer pwg.Done()
+				part := col.Register()
+				for i := 0; i < perProducer; i++ {
+					vals[p][i] = i
+					q.Enqueue(part, &vals[p][i])
+				}
+			}(p)
+		}
+		pwg.Wait()
+		close(done)
+		cwg.Wait()
+	}()
+
+	select {
+	case <-finished:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("stranded: consumed %d of %d after 120s (orphaned-segment race: an element was published into a directory that compaction had already replaced)",
+			got.Load(), producers*perProducer)
+	}
+	if n := got.Load(); n != producers*perProducer {
+		t.Fatalf("consumed %d, want %d", n, producers*perProducer)
 	}
 }

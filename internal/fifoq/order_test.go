@@ -1,6 +1,7 @@
 package fifoq
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -46,6 +47,7 @@ func TestPerProducerOrder(t *testing.T) {
 						consumeMu.Unlock()
 					}
 				default:
+					runtime.Gosched() // don't starve producers on 1 CPU
 				}
 			}
 		}()
@@ -118,6 +120,7 @@ func TestSingleConsumerStrictPerProducerFIFO(t *testing.T) {
 	for got < producers*perProducer {
 		v, ok := q.Dequeue(part)
 		if !ok {
+			runtime.Gosched() // don't starve producers on 1 CPU
 			continue
 		}
 		p, seq := v[0], v[1]

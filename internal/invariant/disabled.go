@@ -1,0 +1,31 @@
+//go:build !icilk_debug
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. False in
+// normal builds: every call site is guarded by `if invariant.Enabled`,
+// so the hooks below exist only to keep both build flavors
+// type-checking against the same call sites — they are never reached.
+const Enabled = false
+
+// Failf is a no-op in normal builds (unreachable behind Enabled).
+func Failf(format string, args ...any) {}
+
+// Checkf is a no-op in normal builds (unreachable behind Enabled).
+func Checkf(cond bool, format string, args ...any) {}
+
+// Eventually is a no-op in normal builds (unreachable behind Enabled).
+func Eventually(cond func() bool, format string, args ...any) {}
+
+// Token is zero-sized in normal builds; embedding it in a hot struct
+// (the scheduler worker) costs nothing.
+type Token struct{}
+
+// Acquire is a no-op in normal builds.
+func (t *Token) Acquire(h any) {}
+
+// Release is a no-op in normal builds.
+func (t *Token) Release(h any) {}
+
+// Check is a no-op in normal builds.
+func (t *Token) Check(h any) {}

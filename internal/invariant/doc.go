@@ -1,0 +1,26 @@
+// Package invariant is the scheduler's build-tag-gated runtime
+// assertion layer. The paper's correctness argument rests on a
+// handful of unstated protocol invariants — the deque state machine
+// only takes legal transitions, a priority level's bitfield bit is
+// never left unset while its pool holds work (the DoubleCheckClear
+// stability property of Section 4), join counters never go negative,
+// exactly one task per worker holds the worker's token, recycled
+// contexts are never resumed without a body, and no fifoq segment is
+// reused while an epoch pin could still reference it. The race
+// detector catches data races but not protocol violations, so the
+// core packages assert these properties explicitly through this
+// package.
+//
+// The layer costs nothing in normal builds: Enabled is a compile-time
+// false, every call site is guarded by `if invariant.Enabled { ... }`,
+// and the guarded block (including argument evaluation) is eliminated
+// as dead code. Build with
+//
+//	go test -tags icilk_debug ./...
+//
+// to compile the checks in. A violation panics with an
+// "invariant violation:" prefix so it is unmistakable in test logs.
+// The companion package invariant/perturb injects seeded yields and
+// delays at scheduling points so rare interleavings are explored
+// reproducibly; see its docs for the seed-replay workflow.
+package invariant

@@ -1,0 +1,55 @@
+//go:build icilk_debug
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want one containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "invariant violation: ") {
+			t.Fatalf("panic %v, want invariant-violation string", r)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q, want it to contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestCheckfPassAndFail(t *testing.T) {
+	Checkf(true, "must not fire")
+	mustPanic(t, "joins=-1", func() { Checkf(false, "joins=%d", -1) })
+}
+
+func TestTokenProtocol(t *testing.T) {
+	var tok Token
+	a, b := new(int), new(int)
+	tok.Acquire(a)
+	tok.Check(a)
+	mustPanic(t, "token check failed", func() { tok.Check(b) })
+	mustPanic(t, "token double-acquire", func() { tok.Acquire(b) })
+	mustPanic(t, "token released by non-holder", func() { tok.Release(b) })
+	tok.Release(a)
+	// Released tokens can be re-acquired by anyone.
+	tok.Acquire(b)
+	tok.Release(b)
+}
+
+func TestEventually(t *testing.T) {
+	// Immediately-true and becomes-true-after-a-few-probes both pass.
+	Eventually(func() bool { return true }, "never")
+	n := 0
+	Eventually(func() bool { n++; return n > 50 }, "never")
+	mustPanic(t, "stuck at", func() {
+		Eventually(func() bool { return false }, "stuck at %s", "false")
+	})
+}

@@ -1,0 +1,36 @@
+//go:build !icilk_debug
+
+package invariant
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestHooksAreFreeInNormalBuilds is the zero-cost guard for the
+// default build: the assertion layer must vanish entirely. Enabled is
+// compile-time false (so guarded blocks are dead code), Token is
+// zero-sized (so embedding it in the scheduler worker costs nothing),
+// and exercising every hook the hot paths reference allocates nothing.
+func TestHooksAreFreeInNormalBuilds(t *testing.T) {
+	if Enabled {
+		t.Fatal("invariant.Enabled is true in a build without the icilk_debug tag")
+	}
+	if s := unsafe.Sizeof(Token{}); s != 0 {
+		t.Fatalf("Token is %d bytes in a normal build, want 0", s)
+	}
+	var tok Token
+	n := testing.AllocsPerRun(100, func() {
+		// The exact call shape used on the scheduler hot path: a
+		// constant-false guard around the hook plus its arguments.
+		if Enabled {
+			tok.Acquire(&tok)
+			Checkf(false, "unreachable %d", 1)
+			tok.Release(&tok)
+		}
+		tok.Check(&tok)
+	})
+	if n != 0 {
+		t.Fatalf("no-op invariant hooks allocate %.1f objects/op, want 0", n)
+	}
+}

@@ -13,16 +13,26 @@
 //     heuristic.
 //  2. Completion work (making a deque resumable, re-enqueueing it)
 //     happens off the worker threads, as in the reference design.
+//
+// Submit never blocks: completions beyond the handoff-channel capacity
+// spill to an overflow list drained by the handlers as capacity frees
+// up. This is deliberate — handler callbacks may themselves submit
+// (retry loops, chained I/O), and a blocking Submit from a handler
+// against a full queue would deadlock the pool. Saturation is made
+// visible through the Depth/HighWater/Spills gauges instead of through
+// blocking backpressure.
 package iopool
 
 import (
 	"sync"
 	"sync/atomic"
 
+	"icilk/internal/invariant"
+	"icilk/internal/invariant/perturb"
 	"icilk/internal/metrics"
 )
 
-// DefaultCapacity is the completion-queue bound used when no
+// DefaultCapacity is the handoff-channel bound used when no
 // WithCapacity option is given.
 const DefaultCapacity = 4096
 
@@ -31,10 +41,11 @@ type Option func(*options)
 
 type options struct{ capacity int }
 
-// WithCapacity sets the completion-queue capacity. Submitters block
-// when the queue is full (backpressure on completion storms), so the
-// capacity bounds both memory and the completion-reordering window.
-// Non-positive values keep the default.
+// WithCapacity sets the handoff-channel capacity. Submissions beyond
+// it spill to the overflow list (Submit never blocks), so the capacity
+// bounds the channel's standing memory and tunes how early saturation
+// shows up in the Spills counter — not a hard limit on outstanding
+// completions. Non-positive values keep the default.
 func WithCapacity(n int) Option {
 	return func(o *options) {
 		if n > 0 {
@@ -46,23 +57,39 @@ func WithCapacity(n int) Option {
 // Pool is a fixed set of I/O handler goroutines draining a FIFO of
 // completion callbacks.
 type Pool struct {
+	// ch is the bounded handoff channel the handlers range over. Every
+	// send — Submit's fast path and refill's overflow drain — happens
+	// under mu and is non-blocking, which is what makes Submit safe to
+	// call from a handler callback and keeps cross-submitter FIFO order.
 	ch chan func()
 	wg sync.WaitGroup
 
 	mu     sync.Mutex
+	cond   *sync.Cond // signaled when overflow drains empty after Close
 	closed bool
+	// overflow holds accepted callbacks that did not fit in ch, oldest
+	// first. While it is non-empty new submissions must append here
+	// (never jump the line into ch); refill moves its head into ch as
+	// handlers free capacity.
+	overflow []func()
 
-	// depth counts completions submitted but not yet fully processed;
-	// highWater tracks its maximum — the saturation signal that makes
-	// a too-small queue visible instead of silently throttling.
+	// depth counts accepted completions not yet fully processed (in
+	// ch, in overflow, or running in a handler); it is incremented only
+	// after the closed check accepts the submission, so rejected
+	// post-Close submissions never perturb it. highWater tracks depth's
+	// maximum over the pool's lifetime — the saturation signal that
+	// makes an undersized pool visible. spills counts submissions that
+	// missed the handoff channel and took the overflow path.
 	depth       atomic.Int64
 	highWater   atomic.Int64
 	completions atomic.Int64
+	spills      atomic.Int64
 }
 
 // New starts a pool with the given number of handler threads (the
 // paper uses 4). A zero or negative threads count defaults to 4;
-// WithCapacity overrides the queue bound (default DefaultCapacity).
+// WithCapacity overrides the handoff-channel bound (default
+// DefaultCapacity).
 func New(threads int, opts ...Option) *Pool {
 	if threads <= 0 {
 		threads = 4
@@ -72,13 +99,22 @@ func New(threads int, opts ...Option) *Pool {
 		opt(&o)
 	}
 	p := &Pool{ch: make(chan func(), o.capacity)}
+	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < threads; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.ch {
+				// Receiving freed a channel slot: pull overflow forward
+				// before running the callback so sibling handlers see
+				// the next completion without waiting for this one.
+				p.refill()
 				fn()
-				p.depth.Add(-1)
+				d := p.depth.Add(-1)
+				if invariant.Enabled {
+					invariant.Checkf(d >= 0,
+						"iopool: depth went negative (%d) after completion", d)
+				}
 				p.completions.Add(1)
 			}
 		}()
@@ -86,12 +122,45 @@ func New(threads int, opts ...Option) *Pool {
 	return p
 }
 
+// refill moves queued overflow callbacks into the handoff channel, as
+// many as fit without blocking. Once the overflow drains while the
+// pool is closed, it wakes Close, which is waiting to seal the channel.
+func (p *Pool) refill() {
+	p.mu.Lock()
+	moved := 0
+moving:
+	for moved < len(p.overflow) {
+		select {
+		case p.ch <- p.overflow[moved]:
+			moved++
+		default:
+			break moving
+		}
+	}
+	if moved > 0 {
+		rem := copy(p.overflow, p.overflow[moved:])
+		for i := rem; i < len(p.overflow); i++ {
+			p.overflow[i] = nil // release the moved callbacks' refs
+		}
+		p.overflow = p.overflow[:rem]
+	}
+	if len(p.overflow) == 0 && p.closed {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
 // Submit enqueues a completion callback. Callbacks run in FIFO order
-// (with up to `threads` in flight at once). Submit blocks if the
-// queue is full — natural backpressure on completion storms. Submit
-// after Close is a silent no-op (late completions during shutdown are
-// dropped).
+// (with up to `threads` in flight at once). Submit never blocks: when
+// the handoff channel is full the callback is accepted into the
+// overflow list and drained as handlers catch up, so handler callbacks
+// may safely re-submit and Close never waits behind a stuck submitter.
+// Submit after Close is a silent no-op (late completions during
+// shutdown are dropped).
 func (p *Pool) Submit(fn func()) {
+	if invariant.Enabled {
+		perturb.At(perturb.IO)
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -104,45 +173,65 @@ func (p *Pool) Submit(fn func()) {
 			break
 		}
 	}
-	// Hold the lock across the send so Close cannot close the channel
-	// between the check and the send. Sends only block when the queue
-	// is full, in which case submitters throttle together.
-	p.ch <- fn
+	if len(p.overflow) == 0 {
+		select {
+		case p.ch <- fn:
+			p.mu.Unlock()
+			return
+		default:
+		}
+	}
+	// Channel full (or older spilled work exists, which must run
+	// first): take the overflow path.
+	p.overflow = append(p.overflow, fn)
+	p.spills.Add(1)
 	p.mu.Unlock()
 }
 
-// Depth returns the number of completions submitted but not yet fully
-// processed (queued plus in flight).
+// Depth returns the number of completions accepted but not yet fully
+// processed (queued, spilled, or in flight). It rises while submitters
+// outpace the handlers and returns to zero when the pool is idle.
 func (p *Pool) Depth() int64 { return p.depth.Load() }
 
-// HighWater returns the maximum Depth ever observed.
+// HighWater returns the maximum Depth ever observed — the pool's
+// lifetime saturation mark. A HighWater near or beyond Capacity means
+// completions spilled past the handoff channel; compare Spills.
 func (p *Pool) HighWater() int64 { return p.highWater.Load() }
 
 // Completions returns the number of completion callbacks processed.
 func (p *Pool) Completions() int64 { return p.completions.Load() }
 
-// Capacity returns the completion-queue bound.
+// Spills returns the number of submissions that found the handoff
+// channel full and took the overflow path. A growing value under load
+// means the channel capacity or handler count is undersized.
+func (p *Pool) Spills() int64 { return p.spills.Load() }
+
+// Capacity returns the handoff-channel bound.
 func (p *Pool) Capacity() int { return cap(p.ch) }
 
 // RegisterMetrics exports the pool's queue gauges and completion
 // counter into reg.
 func (p *Pool) RegisterMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("icilk_io_queue_depth",
-		"I/O completions submitted but not yet processed.",
+		"I/O completions accepted but not yet processed.",
 		func() float64 { return float64(p.Depth()) })
 	reg.GaugeFunc("icilk_io_queue_high_water",
 		"Maximum observed I/O completion-queue depth.",
 		func() float64 { return float64(p.HighWater()) })
 	reg.GaugeFunc("icilk_io_queue_capacity",
-		"I/O completion-queue capacity (submitters block beyond it).",
+		"I/O handoff-channel capacity (submissions beyond it spill).",
 		func() float64 { return float64(p.Capacity()) })
 	reg.CounterFunc("icilk_io_completions_total",
 		"I/O completion callbacks processed by the handler threads.",
 		func() float64 { return float64(p.Completions()) })
+	reg.CounterFunc("icilk_io_spills_total",
+		"I/O submissions that overflowed the handoff channel.",
+		func() float64 { return float64(p.Spills()) })
 }
 
-// Close stops accepting work, drains the queue, and waits for the
-// handler threads to exit.
+// Close stops accepting work, drains the queue — spilled overflow
+// included — and waits for the handler threads to exit. Every callback
+// accepted before Close runs to completion.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -150,7 +239,20 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
+	// The channel can only be closed once no more sends can occur; the
+	// handlers' refill keeps feeding it from the overflow list, so wait
+	// for that list to drain first. Handlers are alive the whole time
+	// (ch is still open), so progress is guaranteed.
+	for len(p.overflow) > 0 {
+		p.cond.Wait()
+	}
 	close(p.ch)
 	p.mu.Unlock()
 	p.wg.Wait()
+	if invariant.Enabled {
+		// Close-drains-all: with the channel sealed and every handler
+		// exited, no accepted completion may remain uncounted.
+		invariant.Checkf(p.depth.Load() == 0,
+			"iopool: Close left depth %d (accepted completions unprocessed)", p.depth.Load())
+	}
 }

@@ -139,3 +139,144 @@ func TestDefaultThreads(t *testing.T) {
 	}
 	p.Close()
 }
+
+// TestHandlerResubmitNoDeadlock is the regression test for the Submit
+// deadlock: the old Submit held p.mu across a blocking channel send,
+// so a handler callback re-submitting into a full queue blocked the
+// only consumer forever (and Close behind it, on the mutex). The
+// sequence below deadlocks deterministically on that code — one
+// handler, capacity one, the handler's callback re-submits while the
+// channel is full — and is detected by the watchdog timeout.
+func TestHandlerResubmitNoDeadlock(t *testing.T) {
+	p := New(1, WithCapacity(1))
+	gate := make(chan struct{})
+	resubmitted := make(chan struct{})
+	var ran atomic.Int64
+	// Occupy the single handler; on release, it re-submits from inside
+	// the callback.
+	p.Submit(func() {
+		<-gate
+		p.Submit(func() { ran.Add(1) })
+		close(resubmitted)
+	})
+	// Fill the capacity-1 channel behind the occupied handler, so the
+	// re-submission above finds it full.
+	p.Submit(func() { ran.Add(1) })
+	close(gate)
+	// On the old code the handler is now stuck in Submit's blocking
+	// send (holding p.mu) and this wait times out.
+	select {
+	case <-resubmitted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: Submit from a handler callback blocked on the full handoff channel")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: Submit from a handler callback blocked the pool (mutex held across a full-queue send)")
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("ran %d callbacks, want 2", got)
+	}
+}
+
+// TestCloseNotBlockedByFloodingSubmitters pins the other face of the
+// same bug: Close must complete — and run every accepted callback —
+// even when many submitters are hammering a pool whose channel is far
+// smaller than the offered load.
+func TestCloseNotBlockedByFloodingSubmitters(t *testing.T) {
+	const submitters, each = 50, 40
+	p := New(2, WithCapacity(4))
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				p.Submit(func() { ran.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not complete under a submission flood")
+	}
+	if got := ran.Load(); got != submitters*each {
+		t.Fatalf("ran %d of %d accepted callbacks", got, submitters*each)
+	}
+	if d := p.Depth(); d != 0 {
+		t.Fatalf("Depth after Close = %d, want 0", d)
+	}
+	if c := p.Completions(); c != submitters*each {
+		t.Fatalf("Completions = %d, want %d", c, submitters*each)
+	}
+}
+
+// TestFIFOOrderAcrossSpill verifies the overflow path preserves the
+// cross-submitter FIFO contract: callbacks spilled past the handoff
+// channel still run strictly after everything submitted before them.
+func TestFIFOOrderAcrossSpill(t *testing.T) {
+	p := New(1, WithCapacity(2))
+	gate := make(chan struct{})
+	p.Submit(func() { <-gate }) // hold the single handler
+	var mu sync.Mutex
+	var got []int
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+		})
+	}
+	close(gate)
+	p.Close()
+	if p.Spills() == 0 {
+		t.Fatal("expected spills with capacity 2 and 50 queued submissions")
+	}
+	if len(got) != n {
+		t.Fatalf("ran %d of %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order violated at %d: got %d (full: %v)", i, v, got)
+		}
+	}
+}
+
+// TestDepthCountsOnlyAccepted pins the depth-accounting fix: a Submit
+// rejected after Close must not perturb the gauges (the old code
+// incremented depth before the closed check could... no — it
+// incremented under the same lock, but a *blocked* submitter inflated
+// depth for work that had not been accepted into the queue; now depth
+// moves only on acceptance).
+func TestDepthCountsOnlyAccepted(t *testing.T) {
+	p := New(1)
+	p.Close()
+	p.Submit(func() { t.Error("callback ran after Close") })
+	if d := p.Depth(); d != 0 {
+		t.Fatalf("Depth after rejected Submit = %d, want 0", d)
+	}
+	if hw := p.HighWater(); hw != 0 {
+		t.Fatalf("HighWater after rejected Submit = %d, want 0", hw)
+	}
+	if c := p.Completions(); c != 0 {
+		t.Fatalf("Completions = %d, want 0", c)
+	}
+}

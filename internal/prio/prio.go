@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"icilk/internal/invariant"
 )
 
 // MaxLevels is the number of representable priority levels. The paper
@@ -35,6 +37,11 @@ type Bitfield struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond
+	// sleepers counts goroutines currently blocked on cond inside
+	// WaitNonZero (guarded by mu). Maintained unconditionally — the
+	// sleep path is far off the hot path — so the debug lost-wakeup
+	// detector and tests can observe the gate's population.
+	sleepers int
 }
 
 // New returns an empty bitfield.
@@ -131,7 +138,9 @@ func (b *Bitfield) WaitNonZero(onSleep func()) (awake time.Duration, ok bool) {
 			}
 		}
 		awake += time.Since(t0)
+		b.sleepers++
 		b.cond.Wait()
+		b.sleepers--
 		t0 = time.Now()
 	}
 	b.mu.Unlock()
@@ -149,3 +158,32 @@ func (b *Bitfield) Stop() {
 
 // Stopped reports whether Stop has been called.
 func (b *Bitfield) Stopped() bool { return b.stopped.Load() }
+
+// Sleepers returns the number of workers currently blocked on the
+// sleep gate (test/diagnostic hook).
+func (b *Bitfield) Sleepers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sleepers
+}
+
+// CheckNoSleeperStranded is the debug-build lost-wakeup detector for
+// the sleep/wake gate: while the bitfield is stably non-zero, no
+// worker may remain asleep — the zero→non-zero Set must have
+// broadcast, and every sleeper re-checks the field under the mutex
+// before blocking, so a sleeper that persists alongside a set bit
+// means a wake-up was lost. Sleepers are legal transiently (a woken
+// worker needs time to leave cond.Wait, and the field may flap), so
+// the probe asserts stability, not an instantaneous state. No-op in
+// normal builds.
+func (b *Bitfield) CheckNoSleeperStranded() {
+	if !invariant.Enabled {
+		return
+	}
+	invariant.Eventually(func() bool {
+		b.mu.Lock()
+		s := b.sleepers
+		b.mu.Unlock()
+		return s == 0 || b.bits.Load() == 0 || b.stopped.Load()
+	}, "prio: sleeper stranded with non-zero bitfield %#x", b.bits.Load())
+}

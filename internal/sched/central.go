@@ -3,6 +3,8 @@ package sched
 import (
 	"icilk/internal/deque"
 	"icilk/internal/fifoq"
+	"icilk/internal/invariant"
+	"icilk/internal/invariant/perturb"
 	"icilk/internal/trace"
 )
 
@@ -50,7 +52,20 @@ func (p *centralPool) enqueue(d *dq, mug bool) {
 		p.levels[lvl].regular.Enqueue(h, d)
 	}
 	p.rt.release(h)
+	if invariant.Enabled {
+		// THE window of the bitfield protocol: the deque is in the queue
+		// but the level bit is not yet set. A thief's DoubleCheckClear
+		// racing into this gap must still leave the level discoverable —
+		// its empty() re-probe sees the queued deque, or our Set below
+		// lands after its Clear.
+		perturb.At(perturb.Enqueue)
+	}
 	p.rt.bits.Set(lvl)
+	if invariant.Enabled {
+		// Work is now both queued and flagged; any sleeper that persists
+		// past this point missed a wake-up.
+		p.rt.bits.CheckNoSleeperStranded()
+	}
 	p.rt.trace.Add(trace.Enqueue, -1, lvl)
 }
 
@@ -74,6 +89,9 @@ func (p *centralPool) empty(level int) bool {
 func (p *centralPool) pop(w *worker, level int) (*node, *dq, bool) {
 	lp := &p.levels[level]
 	for {
+		if invariant.Enabled {
+			perturb.At(perturb.Steal)
+		}
 		fromMugging := true
 		d, ok := lp.mugging.Dequeue(w.part)
 		if !ok {
@@ -97,6 +115,12 @@ func (p *centralPool) pop(w *worker, level int) (*node, *dq, bool) {
 		case deque.PopMug:
 			if pushBack {
 				p.enqueue(d, false)
+			}
+			if invariant.Enabled {
+				// The deque is claimed (Active, owned by w) but its parked
+				// task has not been resumed; the abandoning worker may
+				// still be between its enqueue and its park.
+				perturb.At(perturb.Mug)
 			}
 			w.clock.CountMug()
 			p.rt.trace.Add(trace.Mug, w.id, level)

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"icilk/internal/invariant"
+	"icilk/internal/invariant/perturb"
 	"icilk/internal/trace"
 )
 
@@ -92,6 +94,12 @@ func (f *Future) completeWith(v any, err error) {
 		fn(err)
 	}
 	for _, d := range ws {
+		if invariant.Enabled {
+			// Stretch the completion-to-resume window per waiter: the
+			// owner that suspended this deque may still be between its
+			// Suspend and its park.
+			perturb.At(perturb.Resume)
+		}
 		needsEnqueue := d.MarkResumable()
 		f.rt.resumes.Add(1)
 		f.rt.trace.Add(trace.Resume, -1, d.Level())
@@ -155,6 +163,9 @@ func (f *Future) Err() error {
 // runs.
 func (f *Future) Get(t *Task) any {
 	t.maybeSwitch()
+	if invariant.Enabled {
+		perturb.At(perturb.Get)
+	}
 	t.rt.checkGetInversion(t, f)
 	if f.done.Load() {
 		// Completed-future fast path: done was stored after val, so
@@ -174,6 +185,11 @@ func (f *Future) Get(t *Task) any {
 	d.Suspend(t.n)
 	f.waiters = append(f.waiters, d)
 	f.mu.Unlock()
+	if invariant.Enabled {
+		// The deque is Suspended and registered; a completion arriving
+		// now makes it resumable — and muggable — before the owner parks.
+		perturb.At(perturb.Suspend)
+	}
 	t.w.clock.CountSuspend()
 	t.rt.trace.Add(trace.Suspend, t.w.id, t.level)
 
@@ -219,6 +235,9 @@ func (f *Future) WaitChan() <-chan struct{} {
 func (rt *Runtime) submitNode(n *node, level int) {
 	d := rt.newDeque(level)
 	d.Suspend(n)
+	if invariant.Enabled {
+		perturb.At(perturb.Submit)
+	}
 	needsEnqueue := d.MarkResumable()
 	rt.resumes.Add(1)
 	rt.pol.onResumable(d, needsEnqueue)

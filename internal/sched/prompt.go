@@ -3,6 +3,7 @@ package sched
 import (
 	"time"
 
+	"icilk/internal/invariant"
 	"icilk/internal/trace"
 )
 
@@ -56,6 +57,17 @@ func (p *promptPolicy) findWork(w *worker) (*node, *dq) {
 		// The pool was empty: clear the bit with the double-check
 		// protocol so a racing producer is not left undiscoverable.
 		rt.bits.DoubleCheckClear(level, func() bool { return p.pool.empty(level) })
+		if invariant.Enabled {
+			// Stability after the double-check: the bit may be clear with
+			// the pool momentarily non-empty (a producer between its
+			// queue insert and its Set), but the state "bit clear AND
+			// pool non-empty" must not persist — every enqueue Sets after
+			// inserting, so the window self-heals. A permanent violation
+			// is a lost level: queued work no thief will ever look for.
+			invariant.Eventually(func() bool {
+				return rt.bits.IsSet(level) || p.pool.empty(level)
+			}, "prompt: level %d bit stably clear with non-empty pool after double-check", level)
+		}
 		w.clock.CountFailedSteal()
 		w.clock.AddWaste(time.Since(t0))
 	}

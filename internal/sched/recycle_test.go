@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"icilk/internal/invariant"
 )
 
 // taskDriver parks a long-lived task on a command channel so tests can
@@ -47,6 +49,9 @@ func TestSpawnSyncAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation accounting differs under -race")
 	}
+	if invariant.Enabled {
+		t.Skip("icilk_debug assertion builds trade allocations for checks")
+	}
 	rt := newTestRuntime(t, Config{Workers: 2, Levels: 1, Policy: Prompt})
 	d := startDriver(rt)
 	defer d.stop()
@@ -78,6 +83,9 @@ func TestSpawnSyncAllocFree(t *testing.T) {
 func TestCompletedFutureGetAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation accounting differs under -race")
+	}
+	if invariant.Enabled {
+		t.Skip("icilk_debug assertion builds trade allocations for checks")
 	}
 	rt := newTestRuntime(t, Config{Workers: 2, Levels: 1, Policy: Prompt})
 	d := startDriver(rt)

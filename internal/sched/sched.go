@@ -50,6 +50,7 @@ import (
 
 	"icilk/internal/deque"
 	"icilk/internal/epoch"
+	"icilk/internal/invariant"
 	"icilk/internal/prio"
 	"icilk/internal/stats"
 	"icilk/internal/trace"
@@ -446,6 +447,10 @@ type worker struct {
 	part     *epoch.Participant
 	rng      *xrand.Rand
 	clock    stats.WorkerClock
+	// tok is the debug-build token-holder tracker (zero-size no-op in
+	// normal builds): at most one node holds this worker's token, and
+	// only the holder may post a yield directive. See execute/parkAfter.
+	tok invariant.Token
 }
 
 // run is the worker main loop: find a frame, execute the chain it
@@ -479,8 +484,10 @@ func (w *worker) execute(n *node) {
 	// calls on the hot path.
 	start := time.Now()
 	for n != nil {
+		w.tok.Acquire(n)
 		n.resume <- w
 		msg := <-w.yield
+		w.tok.Release(n)
 		now := time.Now()
 		elapsed := now.Sub(start)
 		start = now

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"icilk/internal/invariant"
+	"icilk/internal/invariant/perturb"
 	"icilk/internal/trace"
 )
 
@@ -115,6 +117,14 @@ func (t *Task) loop() {
 		if w == nil {
 			return
 		}
+		if invariant.Enabled {
+			// A recycled context must have been re-armed (newNode set a
+			// body) before any worker resumes it; a bodiless resume means
+			// a stale reference to a free-listed context survived
+			// somewhere and its goroutine is about to run garbage.
+			invariant.Checkf(t.fn != nil || t.futFn != nil,
+				"sched: recycled task context resumed with no body (level %d)", t.level)
+		}
 		t.w = w
 		t.runBody()
 		if !t.finish() {
@@ -167,6 +177,12 @@ func (t *Task) Runtime() *Runtime { return t.rt }
 // parkAfter posts a yield directive to the current worker and parks
 // until some worker resumes this task.
 func (t *Task) parkAfter(m yieldMsg) {
+	if invariant.Enabled {
+		// Only the node holding the worker's token may post a directive;
+		// a mismatch means two task goroutines believe they own the same
+		// worker — the gated-goroutine protocol's cardinal sin.
+		t.w.tok.Check(t.n)
+	}
 	t.w.yield <- m
 	t.w = <-t.n.resume
 }
@@ -200,7 +216,16 @@ func (t *Task) finish() bool {
 
 	var ready *node
 	if p := t.parent; p != nil {
-		if p.joins.Add(-1) == syncBit {
+		v := p.joins.Add(-1)
+		if invariant.Enabled {
+			// The join counter can never go below zero children: v < 0 is
+			// an unflagged underflow, and a low-32 value with the top bit
+			// set is the wrapped remainder of a flagged one (syncBit-1
+			// children is unreachable by 31 orders of magnitude).
+			invariant.Checkf(v >= 0 && v&(syncBit-1) < 1<<31,
+				"sched: join counter underflow (joins=%#x after child finish)", v)
+		}
+		if v == syncBit {
 			// Count hit zero with the parent parked at sync: this
 			// completion releases it. The parent cannot run until we
 			// hand ready to the worker, so the flag reset is race-free.
@@ -231,6 +256,9 @@ func (t *Task) finish() bool {
 		default:
 		}
 	}
+	if invariant.Enabled {
+		w.tok.Check(t.n)
+	}
 	w.yield <- yieldMsg{kind: yDone, ready: ready}
 	return recycled
 }
@@ -244,6 +272,9 @@ func (t *Task) finish() bool {
 // variants the trigger is instead a changed quantum-boundary
 // assignment.
 func (t *Task) maybeSwitch() {
+	if invariant.Enabled {
+		perturb.At(perturb.Check)
+	}
 	t.checkCancel()
 	t.w.clock.CountCheck()
 	target, ok := t.rt.pol.checkSwitch(t.w, t.level)
@@ -252,6 +283,12 @@ func (t *Task) maybeSwitch() {
 	}
 	d := t.w.active
 	needsEnqueue := d.Abandon(t.n, !t.rt.cfg.DisableMuggingQueue)
+	if invariant.Enabled {
+		// Stretch the abandon-to-park window: the deque is already
+		// resumable and discoverable, so a mugger may take it — and post
+		// a fresh worker token — before this task even parks.
+		perturb.At(perturb.Abandon)
+	}
 	t.w.clock.CountAbandon()
 	t.rt.trace.Add(trace.Abandon, t.w.id, t.level)
 	t.rt.pol.onAbandon(t.w, d, needsEnqueue)
@@ -271,6 +308,11 @@ func (t *Task) Spawn(fn func(*Task)) {
 	t.joins.Add(1)
 	d := t.w.active
 	needsEnqueue := d.PushBottom(t.n)
+	if invariant.Enabled {
+		// The continuation frame is stealable from here until parkAfter
+		// posts the yield; a thief resuming it early races the park.
+		perturb.At(perturb.Spawn)
+	}
 	t.rt.pol.onOwnerPush(t.w, d, needsEnqueue)
 	t.parkAfter(yieldMsg{kind: ySpawn, child: child})
 }
@@ -287,6 +329,11 @@ func (t *Task) Sync() {
 		if t.joins.CompareAndSwap(v, v|syncBit) {
 			break
 		}
+	}
+	if invariant.Enabled {
+		// The syncBit is visible from here; the last child may release
+		// the sync and re-arm this node before the park completes.
+		perturb.At(perturb.Sync)
 	}
 	t.parkAfter(yieldMsg{kind: ySyncWait})
 }

@@ -77,6 +77,16 @@ func (r *Rand) Int63() int64 {
 	return int64(r.Uint64() >> 1)
 }
 
+// Mix returns a deterministic 64-bit hash of (seed, n): one splitmix64
+// step over their golden-ratio combination. It is stateless, so
+// concurrent callers need no lock — the schedule-perturbation driver
+// uses it for per-decision coin flips, where a shared *Rand would
+// serialize the very interleavings being explored.
+func Mix(seed, n uint64) uint64 {
+	s := seed + n*0x9e3779b97f4a7c15
+	return splitmix64(&s)
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
