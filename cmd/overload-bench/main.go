@@ -30,6 +30,7 @@ import (
 	"icilk/internal/admission"
 	"icilk/internal/emailserver"
 	"icilk/internal/jobserver"
+	"icilk/internal/predict"
 	"icilk/internal/workload"
 )
 
@@ -53,6 +54,31 @@ type Run struct {
 	RPS       float64       `json:"rps"`
 	Admission bool          `json:"admission"`
 	Classes   []ClassResult `json:"classes"`
+	// TopGoodput is the aggregate goodput over every class at the
+	// highest priority level — the policy-comparison headline.
+	TopGoodput float64 `json:"top_goodput"`
+}
+
+// topGoodput aggregates good/offered over the classes at the minimum
+// level present.
+func topGoodput(classes []ClassResult) float64 {
+	minLevel := classes[0].Level
+	for _, c := range classes {
+		if c.Level < minLevel {
+			minLevel = c.Level
+		}
+	}
+	var good, offered int64
+	for _, c := range classes {
+		if c.Level == minLevel {
+			good += c.Good
+			offered += c.Offered
+		}
+	}
+	if offered == 0 {
+		return 0
+	}
+	return float64(good) / float64(offered)
 }
 
 // Entry is one overload-bench invocation.
@@ -86,6 +112,8 @@ type app struct {
 	names  []string
 	levels []int
 	spread int
+	// mix gives per-class arrival weights; nil means uniform.
+	mix []float64
 	// build creates a fresh runtime+server; submit dispatches one
 	// request through admission (adm non-nil) or around it.
 	build func(workers int, adm *icilk.AdmissionConfig) (*icilk.Runtime, workload.GoodputSubmitFunc, error)
@@ -141,6 +169,46 @@ func emailApp() *app {
 	}
 }
 
+// synthApp is the size-class synthetic server: two priority levels,
+// each with a dominant cheap class and a minority class ~40× as
+// expensive (workload.BimodalMix — the bimodal value-size story of a
+// cache serving mostly small GETs plus occasional range scans whose
+// service time barely fits the deadline even unqueued). The per-class
+// service demand is stable, so a service-time predictor has genuine
+// signal; requests are submitted with their (opcode, size bucket)
+// class and true arrival time, as the network frontends do.
+func synthApp() *app {
+	classes := workload.BimodalMix(2, 200*time.Microsecond, 8*time.Millisecond, 0.1)
+	levels := make([]int, len(classes))
+	for i, c := range classes {
+		levels[i] = c.Level
+	}
+	return &app{
+		names:  workload.ClassNames(classes),
+		levels: levels,
+		mix:    workload.ClassWeights(classes),
+		build: func(workers int, admCfg *icilk.AdmissionConfig) (*icilk.Runtime, workload.GoodputSubmitFunc, error) {
+			rt, err := icilk.New(icilk.Config{Workers: workers, Levels: 2, Admission: admCfg})
+			if err != nil {
+				return nil, nil, err
+			}
+			adm := rt.Admission()
+			return rt, func(class, user int, seq int64) (*icilk.Future, error) {
+				c := &classes[class]
+				body := func(t *icilk.Task) any {
+					workload.SpinService(t, c.Work)
+					return nil
+				}
+				if adm != nil {
+					cls := predict.Class{Op: uint8(1 + class), Size: predict.SizeBucket(c.Size)}
+					return adm.SubmitClassSince(c.Level, cls, time.Now(), body)
+				}
+				return rt.Submit(c.Level, body), nil
+			}, nil
+		},
+	}
+}
+
 func runOne(a *app, workers int, admCfg *icilk.AdmissionConfig, cfg workload.OpenLoopConfig, deadline time.Duration) ([]ClassResult, error) {
 	rt, submit, err := a.build(workers, admCfg)
 	if err != nil {
@@ -172,13 +240,14 @@ func runOne(a *app, workers int, admCfg *icilk.AdmissionConfig, cfg workload.Ope
 func main() {
 	label := flag.String("label", "", "entry label (e.g. the change being measured); required")
 	out := flag.String("o", "", "JSON file to append the entry to (created if missing); stdout if empty")
-	appName := flag.String("app", "job", "app to drive: job | email")
+	appName := flag.String("app", "job", "app to drive: job | email | synth")
 	kneeRPS := flag.Float64("knee", 1000, "QoS knee in RPS (find it with cmd/qos-search)")
 	multsFlag := flag.String("mults", "0.5,1,2,4", "knee multipliers to run, comma-separated")
 	dur := flag.Duration("dur", 4*time.Second, "measurement duration per load point")
 	warmup := flag.Duration("warmup", 500*time.Millisecond, "per-run warmup (load applied, not measured)")
 	deadline := flag.Duration("deadline", 20*time.Millisecond, "per-request deadline (goodput bound and cancellation timeout)")
-	policyName := flag.String("policy", "priority-drop", "admission policy: priority-drop | tail-drop | codel")
+	policyName := flag.String("policy", "priority-drop",
+		"admission policies to compare, comma-separated: priority-drop | tail-drop | codel | predictive")
 	queueCap := flag.Int("queuecap", 16, "per-level admission capacity")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler workers")
 	withOff := flag.Bool("off", true, "also run each load point without admission control")
@@ -188,10 +257,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "overload-bench: -label is required (what is being measured?)")
 		os.Exit(2)
 	}
-	policy, err := admission.ParsePolicy(*policyName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "overload-bench: %v\n", err)
-		os.Exit(2)
+	var policies []admission.Policy
+	for _, s := range strings.Split(*policyName, ",") {
+		policy, err := admission.ParsePolicy(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "overload-bench: %v\n", err)
+			os.Exit(2)
+		}
+		policies = append(policies, policy)
 	}
 	var a *app
 	switch *appName {
@@ -199,8 +272,10 @@ func main() {
 		a = jobApp()
 	case "email":
 		a = emailApp()
+	case "synth":
+		a = synthApp()
 	default:
-		fmt.Fprintf(os.Stderr, "overload-bench: unknown app %q (job|email)\n", *appName)
+		fmt.Fprintf(os.Stderr, "overload-bench: unknown app %q (job|email|synth)\n", *appName)
 		os.Exit(2)
 	}
 	var mults []float64
@@ -213,67 +288,6 @@ func main() {
 		mults = append(mults, m)
 	}
 
-	entry := Entry{
-		Label:      *label,
-		Date:       time.Now().UTC().Format("2006-01-02"),
-		App:        *appName,
-		Policy:     policy.String(),
-		KneeRPS:    *kneeRPS,
-		DeadlineMS: float64(deadline.Microseconds()) / 1000,
-		Duration:   dur.String(),
-		Workers:    *workers,
-	}
-	admCfg := &icilk.AdmissionConfig{
-		Policy:   policy,
-		QueueCap: *queueCap,
-		Timeout:  *deadline,
-	}
-	for _, mult := range mults {
-		rps := *kneeRPS * mult
-		cfg := workload.OpenLoopConfig{
-			RPS:        rps,
-			Duration:   *warmup + *dur,
-			Warmup:     *warmup,
-			Mix:        make([]float64, len(a.names)),
-			ClassNames: a.names,
-			Seed:       *seed,
-			Spread:     a.spread,
-		}
-		for i := range cfg.Mix {
-			cfg.Mix[i] = 1
-		}
-		configs := []struct {
-			adm *icilk.AdmissionConfig
-			on  bool
-		}{{admCfg, true}}
-		if *withOff {
-			configs = append(configs, struct {
-				adm *icilk.AdmissionConfig
-				on  bool
-			}{nil, false})
-		}
-		for _, c := range configs {
-			mode := "admission=" + policy.String()
-			if !c.on {
-				mode = "admission=off"
-			}
-			fmt.Fprintf(os.Stderr, "%.1fx knee (%.0f rps), %s ...\n", mult, rps, mode)
-			classes, err := runOne(a, *workers, c.adm, cfg, *deadline)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "overload-bench: %v\n", err)
-				os.Exit(1)
-			}
-			for _, cr := range classes {
-				fmt.Fprintf(os.Stderr, "  %-5s L%d goodput %5.1f%%  good %6d late %6d shed %6d  p99 %8.2fms\n",
-					cr.Class, cr.Level, 100*cr.Goodput, cr.Good, cr.Late, cr.Shed, cr.P99ms)
-			}
-			entry.Runs = append(entry.Runs, Run{Mult: mult, RPS: rps, Admission: c.on, Classes: classes})
-		}
-	}
-
-	// The headline number: top-priority goodput at the highest
-	// multiplier relative to the lowest, admission on.
-	var loGood, hiGood float64
 	loMult, hiMult := mults[0], mults[0]
 	for _, m := range mults {
 		if m < loMult {
@@ -283,21 +297,112 @@ func main() {
 			hiMult = m
 		}
 	}
-	for _, r := range entry.Runs {
-		if !r.Admission {
-			continue
+	var entries []Entry
+	for pi, policy := range policies {
+		entry := Entry{
+			Label:      *label,
+			Date:       time.Now().UTC().Format("2006-01-02"),
+			App:        *appName,
+			Policy:     policy.String(),
+			KneeRPS:    *kneeRPS,
+			DeadlineMS: float64(deadline.Microseconds()) / 1000,
+			Duration:   dur.String(),
+			Workers:    *workers,
 		}
-		if r.Mult == loMult {
-			loGood = r.Classes[0].Goodput
+		admCfg := &icilk.AdmissionConfig{
+			Policy:   policy,
+			QueueCap: *queueCap,
+			Timeout:  *deadline,
 		}
-		if r.Mult == hiMult {
-			hiGood = r.Classes[0].Goodput
+		for _, mult := range mults {
+			rps := *kneeRPS * mult
+			cfg := workload.OpenLoopConfig{
+				RPS:        rps,
+				Duration:   *warmup + *dur,
+				Warmup:     *warmup,
+				Mix:        make([]float64, len(a.names)),
+				ClassNames: a.names,
+				Seed:       *seed,
+				Spread:     a.spread,
+			}
+			for i := range cfg.Mix {
+				cfg.Mix[i] = 1
+				if a.mix != nil {
+					cfg.Mix[i] = a.mix[i]
+				}
+			}
+			configs := []struct {
+				adm *icilk.AdmissionConfig
+				on  bool
+			}{{admCfg, true}}
+			// The no-admission baseline is policy-independent: run it
+			// with the first policy's entry only.
+			if *withOff && pi == 0 {
+				configs = append(configs, struct {
+					adm *icilk.AdmissionConfig
+					on  bool
+				}{nil, false})
+			}
+			for _, c := range configs {
+				mode := "admission=" + policy.String()
+				if !c.on {
+					mode = "admission=off"
+				}
+				fmt.Fprintf(os.Stderr, "%.1fx knee (%.0f rps), %s ...\n", mult, rps, mode)
+				classes, err := runOne(a, *workers, c.adm, cfg, *deadline)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "overload-bench: %v\n", err)
+					os.Exit(1)
+				}
+				for _, cr := range classes {
+					fmt.Fprintf(os.Stderr, "  %-8s L%d goodput %5.1f%%  good %6d late %6d shed %6d  p99 %8.2fms\n",
+						cr.Class, cr.Level, 100*cr.Goodput, cr.Good, cr.Late, cr.Shed, cr.P99ms)
+				}
+				entry.Runs = append(entry.Runs, Run{
+					Mult: mult, RPS: rps, Admission: c.on,
+					Classes: classes, TopGoodput: topGoodput(classes),
+				})
+			}
+		}
+
+		// The headline number: top-priority goodput at the highest
+		// multiplier relative to the lowest, admission on.
+		var loGood, hiGood float64
+		for _, r := range entry.Runs {
+			if !r.Admission {
+				continue
+			}
+			if r.Mult == loMult {
+				loGood = r.Classes[0].Goodput
+			}
+			if r.Mult == hiMult {
+				hiGood = r.Classes[0].Goodput
+			}
+		}
+		if loGood > 0 {
+			entry.TopGoodputRatio = hiGood / loGood
+		}
+		fmt.Fprintf(os.Stderr, "[%s] top-priority goodput at %.1fx / %.1fx = %.3f\n",
+			policy, hiMult, loMult, entry.TopGoodputRatio)
+		entries = append(entries, entry)
+	}
+
+	// Multi-policy comparison: aggregate top-priority goodput per load
+	// point, side by side.
+	if len(policies) > 1 {
+		fmt.Fprintln(os.Stderr, "top-priority goodput by policy:")
+		for _, mult := range mults {
+			fmt.Fprintf(os.Stderr, "  %4.1fx:", mult)
+			for pi, policy := range policies {
+				for _, r := range entries[pi].Runs {
+					if r.Admission && r.Mult == mult {
+						fmt.Fprintf(os.Stderr, "  %s %5.1f%%", policy, 100*r.TopGoodput)
+					}
+				}
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 	}
-	if loGood > 0 {
-		entry.TopGoodputRatio = hiGood / loGood
-	}
-	fmt.Fprintf(os.Stderr, "top-priority goodput at %.1fx / %.1fx = %.3f\n", hiMult, loMult, entry.TopGoodputRatio)
 
 	var f File
 	if *out != "" {
@@ -309,7 +414,7 @@ func main() {
 		}
 	}
 	f.Comment = fileComment
-	f.Entries = append(f.Entries, entry)
+	f.Entries = append(f.Entries, entries...)
 	data, err := json.MarshalIndent(&f, "", "  ")
 	if err != nil {
 		panic(err)

@@ -35,6 +35,7 @@ import (
 	"icilk/internal/admission"
 	"icilk/internal/iopool"
 	"icilk/internal/metrics"
+	"icilk/internal/predict"
 	"icilk/internal/sched"
 	"icilk/internal/stats"
 	"icilk/internal/trace"
@@ -85,6 +86,18 @@ type AdmissionController = admission.Controller
 // admitted with AdmissionController.Acquire.
 type AdmissionTicket = admission.Ticket
 
+// RequestClass identifies a request class for the ShedPredictive
+// policy's service-time predictor: an application opcode plus a
+// value-size bucket (see SizeBucket). Pass it via the controller's
+// SubmitClass*/AcquireClass* variants; class-blind submissions train
+// one synthetic class per priority level.
+type RequestClass = predict.Class
+
+// SizeBucket buckets a payload length logarithmically for
+// RequestClass.Size (bucket i covers [2^(i-1), 2^i) bytes; 0 covers
+// 0).
+func SizeBucket(n int) uint8 { return predict.SizeBucket(n) }
+
 // Admission shedding policies (AdmissionConfig.Policy).
 const (
 	// ShedPriorityDrop sheds low priority levels first as aggregate
@@ -95,6 +108,14 @@ const (
 	// ShedCoDel sheds a level whose minimum queue sojourn stays above
 	// the target for a full interval.
 	ShedCoDel = admission.CoDel
+	// ShedPredictive sheds on a predicted deadline miss: a TAGE-style
+	// per-class service-time predictor (trained from measured service
+	// times at completion) plus a predicted-backlog queue-wait model
+	// (each admitted request charges its predicted service to its
+	// level; wait ≈ backlog / workers), falling back to CoDel while
+	// prediction confidence is low. See the admission and predict
+	// packages.
+	ShedPredictive = admission.Predictive
 )
 
 // ErrShed is the sentinel wrapped by every admission rejection; match
@@ -140,6 +161,15 @@ type Config struct {
 	// queues, load shedding, and per-request deadlines. Its counters
 	// are registered into the runtime's metric registry.
 	Admission *AdmissionConfig
+	// UrgentSlack enables the slack-aware tie-break within each
+	// priority level for the centralized-pool schedulers: a request
+	// whose deadline slack (after the level's estimated service time)
+	// has shrunk below UrgentSlack jumps its level's FIFO. The
+	// cross-level promptness machinery is untouched. Requires
+	// deadlines (AdmissionConfig.Timeout or SubmitWithDeadline) to
+	// have any effect; the per-level service estimate comes from the
+	// admission controller when one is configured. Zero disables it.
+	UrgentSlack time.Duration
 }
 
 // Runtime is a running scheduler instance plus its I/O subsystem.
@@ -165,6 +195,7 @@ func New(cfg Config) (*Runtime, error) {
 		TraceCapacity:       cfg.TraceCapacity,
 		DisableRecycling:    cfg.DisableRecycling,
 		RecycleCap:          cfg.RecycleCap,
+		UrgentSlack:         cfg.UrgentSlack,
 	})
 	if err != nil {
 		return nil, err
@@ -187,6 +218,9 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		adm.RegisterMetrics(reg)
 		r.adm = adm
+		// Feed the controller's observed per-level mean service times
+		// to the scheduler's urgent-queue slack test.
+		rt.SetServiceEstimate(adm.ServiceEstimate)
 	}
 	return r, nil
 }

@@ -40,6 +40,26 @@
 //     arrival-to-admission wait); plain Acquire observes no wait and
 //     feeds nothing, so an Acquire-only level falls back to the
 //     tail-drop capacity backstop.
+//   - Predictive: shed on a *predicted* deadline miss instead of an
+//     observed one. Each admitted request's measured service time is
+//     fed back into a TAGE-style per-class predictor
+//     (internal/predict); each admitted request also charges its
+//     predicted service time to its level's backlog counter
+//     (uncharged at completion), so the level's backlog is the
+//     predicted total work ahead of a new arrival. At admission the
+//     controller estimates the request's queue wait as backlog ÷
+//     worker count, adds the class's own predicted service time, and
+//     sheds when the sum exceeds the request's remaining deadline
+//     slack — which sheds the doomed expensive classes while cheap
+//     requests that still fit their deadline keep flowing, the
+//     per-class discrimination a sojourn-only policy cannot make.
+//     When the predictor has no confident entry for the class (cold
+//     class, or confidence below Config.PredictConfidence) the
+//     decision falls back to the CoDel sojourn test above, so a
+//     mistrained predictor degrades to reactive shedding rather than
+//     to no shedding. Class-aware callers use the *Class entry points
+//     (SubmitClassSince, AcquireClassSince); class-blind callers get
+//     one synthetic class per priority level.
 //
 // The controller is deliberately scheduler-agnostic: it talks to the
 // runtime only through the Submitter interface (satisfied by
@@ -55,6 +75,7 @@ import (
 	"time"
 
 	"icilk/internal/metrics"
+	"icilk/internal/predict"
 	"icilk/internal/sched"
 )
 
@@ -76,6 +97,10 @@ var (
 	// ErrSojourn is a CoDel rejection: the level's minimum queue
 	// sojourn exceeded the target for a full interval.
 	ErrSojourn = fmt.Errorf("%w: sojourn over target", ErrShed)
+	// ErrPredicted is a Predictive rejection: predicted queue wait
+	// plus predicted service time exceeds the request's remaining
+	// deadline slack.
+	ErrPredicted = fmt.Errorf("%w: predicted deadline miss", ErrShed)
 )
 
 // Policy selects the shedding strategy.
@@ -90,6 +115,11 @@ const (
 	// CoDel sheds a level whose minimum queue sojourn stays above
 	// the target for an interval.
 	CoDel
+	// Predictive sheds on a predicted deadline miss (per-class
+	// service-time predictor + occupancy-based wait model), falling
+	// back to the CoDel sojourn test when prediction confidence is
+	// low.
+	Predictive
 )
 
 func (p Policy) String() string {
@@ -100,6 +130,8 @@ func (p Policy) String() string {
 		return "tail-drop"
 	case CoDel:
 		return "codel"
+	case Predictive:
+		return "predictive"
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
 }
@@ -113,8 +145,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return TailDrop, nil
 	case "codel":
 		return CoDel, nil
+	case "predictive":
+		return Predictive, nil
 	}
-	return 0, fmt.Errorf("admission: unknown policy %q (priority-drop|tail-drop|codel)", s)
+	return 0, fmt.Errorf("admission: unknown policy %q (priority-drop|tail-drop|codel|predictive)", s)
 }
 
 // Submitter is the scheduler surface the controller needs —
@@ -155,6 +189,24 @@ type Config struct {
 	// intervening admission) flip the controller to Degraded — the
 	// /readyz signal. Default 100.
 	DegradedAfter int64
+	// Predict sizes the service-time predictor built for the
+	// Predictive policy (zero value = predict defaults). Ignored when
+	// Predictor is set or the policy is not Predictive.
+	Predict predict.Config
+	// Predictor supplies an external predictor instance (e.g. one
+	// shared with the scheduler's slack ordering). When nil and the
+	// policy is Predictive, NewController builds one from Predict.
+	Predictor *predict.Predictor
+	// PredictConfidence is the minimum provider confidence
+	// (1..predict.ConfMax) at which a prediction is trusted for the
+	// shed decision; below it Predictive falls back to the CoDel
+	// sojourn test. Default 2.
+	PredictConfidence int
+	// PredictWorkers is the service parallelism assumed by the
+	// queue-wait model (wait ≈ predicted backlog / workers). Default:
+	// the Submitter's worker count when it exposes Workers() int
+	// (sched.Runtime does), else 1.
+	PredictWorkers int
 }
 
 func (c *Config) applyDefaults(levels int) error {
@@ -190,7 +242,10 @@ type levelState struct {
 	shed      atomic.Int64
 	completed atomic.Int64 // finished before their deadline
 	timedOut  atomic.Int64 // cancelled by their deadline
-	_         [24]byte
+	predShed  atomic.Int64 // Predictive rejections (subset of shed)
+	svcMean   atomic.Int64 // EWMA of observed service times, ns
+	backlog   atomic.Int64 // predicted service ns of admitted in-flight requests
+	_         [16]byte
 
 	codel codelState
 }
@@ -286,6 +341,12 @@ type Controller struct {
 	total    atomic.Int64 // aggregate occupancy
 	lvl      []levelState
 	consecut atomic.Int64 // consecutive sheds since the last admit
+
+	// Predictive-policy state. pred is non-nil iff the policy is
+	// Predictive (or an external Predictor was supplied).
+	pred        *predict.Predictor
+	predWorkers int64
+	predMinConf uint8
 }
 
 // NewController builds an admission controller over sub. The zero
@@ -330,6 +391,27 @@ func NewController(sub Submitter, cfg Config) (*Controller, error) {
 		c.prioThreshold[l] = int64(frac * float64(totalCap))
 		c.lvl[l].codel.init()
 	}
+	c.pred = cfg.Predictor
+	if c.pred == nil && cfg.Policy == Predictive {
+		p, err := predict.New(cfg.Predict)
+		if err != nil {
+			return nil, err
+		}
+		c.pred = p
+	}
+	c.predWorkers = int64(cfg.PredictWorkers)
+	if c.predWorkers <= 0 {
+		if w, ok := sub.(interface{ Workers() int }); ok {
+			c.predWorkers = int64(w.Workers())
+		}
+		if c.predWorkers <= 0 {
+			c.predWorkers = 1
+		}
+	}
+	c.predMinConf = 2
+	if cfg.PredictConfidence > 0 {
+		c.predMinConf = uint8(cfg.PredictConfidence)
+	}
 	return c, nil
 }
 
@@ -342,35 +424,138 @@ func (c *Controller) Policy() Policy { return c.cfg.Policy }
 // Timeout returns the per-request deadline applied at level l.
 func (c *Controller) Timeout(l int) time.Duration { return c.timeouts[l] }
 
-// admit makes the admission decision for one request at level l. On
-// success the request's occupancy is charged (undone by release); on
-// failure a preallocated shed error is returned and nothing else
-// happens — no allocation, no scheduler interaction.
-func (c *Controller) admit(l int) error {
+// levelClass is the synthetic request class used for class-blind
+// callers: one class per priority level, in an opcode range
+// (0xc0-0xff, one per possible level) applications are documented not
+// to use, so a class-blind level still trains one usable predictor
+// entry instead of polluting app classes.
+func levelClass(l int) predict.Class {
+	return predict.Class{Op: uint8(0xc0 + l&0x3f)}
+}
+
+// admit makes the admission decision for one request of class cls at
+// level l. arrivalNS is the caller-observed arrival time (UnixNano)
+// or 0 when unknown. On success the request's occupancy is charged
+// and, under Predictive, the returned charge (the request's predicted
+// service time) is added to the level's backlog — both undone by
+// release. On failure a preallocated shed error is returned and
+// nothing else happens — no allocation, no scheduler interaction.
+func (c *Controller) admit(l int, cls predict.Class, arrivalNS int64) (int64, error) {
 	ls := &c.lvl[l]
 	if ls.occ.Add(1) > c.caps[l] {
 		ls.occ.Add(-1)
-		return c.shed(ls, ErrQueueFull)
+		return 0, c.shed(ls, ErrQueueFull)
 	}
 	total := c.total.Add(1)
+	var charge int64
 	switch c.cfg.Policy {
 	case PriorityDrop:
 		if total > c.prioThreshold[l] {
 			ls.occ.Add(-1)
 			c.total.Add(-1)
-			return c.shed(ls, ErrPriorityShed)
+			return 0, c.shed(ls, ErrPriorityShed)
 		}
 	case CoDel:
 		if ls.codel.shouldShed(time.Now().UnixNano(), c.cfg.CoDelTarget, c.cfg.CoDelInterval) {
 			ls.occ.Add(-1)
 			c.total.Add(-1)
-			return c.shed(ls, ErrSojourn)
+			return 0, c.shed(ls, ErrSojourn)
 		}
+	case Predictive:
+		var err error
+		if charge, err = c.predictDecision(l, cls, arrivalNS, time.Now().UnixNano()); err != nil {
+			ls.occ.Add(-1)
+			c.total.Add(-1)
+			if err == ErrPredicted {
+				ls.predShed.Add(1)
+			}
+			return 0, c.shed(ls, err)
+		}
+		ls.backlog.Add(charge)
 	}
 	ls.admitted.Add(1)
 	c.consecut.Store(0)
-	return nil
+	return charge, nil
 }
+
+// predictDecision is the Predictive policy's admission test for one
+// arrival: shed when predicted queue wait plus predicted service time
+// exceeds the request's remaining deadline slack. The wait model is
+// the level's predicted backlog — the summed predicted service of
+// admitted, unfinished requests — divided by the worker count;
+// per-class charges are what let the model tell a cheap arrival
+// behind a short queue from an expensive one that is already doomed.
+// The test is deliberately cheap (a handful of atomic loads and
+// integer arithmetic) so it sits on the zero-allocation admission
+// path. On success the request's own charge is returned for admit to
+// add to the backlog. Without a confident prediction for the class
+// (or without a deadline to miss) the decision falls back to the
+// CoDel sojourn test — a cold or mistrained predictor degrades to
+// reactive shedding, never to an open floodgate — and the charge
+// falls back to the level's observed mean, keeping the backlog honest
+// about unpredicted admissions.
+func (c *Controller) predictDecision(l int, cls predict.Class, arrivalNS, nowNS int64) (int64, error) {
+	ls := &c.lvl[l]
+	if timeout := c.timeouts[l]; timeout > 0 && c.pred != nil {
+		if est, conf, ok := c.pred.Predict(cls); ok && conf >= c.predMinConf {
+			slack := int64(timeout)
+			if arrivalNS > 0 {
+				slack -= nowNS - arrivalNS // queueing before admission already spent
+			}
+			if ls.backlog.Load()/c.predWorkers+int64(est) > slack {
+				return 0, ErrPredicted
+			}
+			return int64(est), nil
+		}
+	}
+	if ls.codel.shouldShed(nowNS, c.cfg.CoDelTarget, c.cfg.CoDelInterval) {
+		return 0, ErrSojourn
+	}
+	return ls.svcMean.Load(), nil
+}
+
+// noteService feeds one measured service time into the predictor and
+// the level's mean-service EWMA (the wait model's numerator). Runs on
+// the completion path only — never on SpawnSync.
+func (c *Controller) noteService(l int, cls predict.Class, svcNS int64) {
+	if svcNS < 0 {
+		return
+	}
+	ls := &c.lvl[l]
+	for {
+		old := ls.svcMean.Load()
+		nw := old + (svcNS-old)>>3
+		if old == 0 {
+			nw = svcNS
+		} else if nw == old && svcNS != old {
+			// Sub-resolution step: nudge so the EWMA cannot stall.
+			if svcNS > old {
+				nw++
+			} else {
+				nw--
+			}
+		}
+		if nw == old || ls.svcMean.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	c.pred.Update(cls, time.Duration(svcNS))
+}
+
+// ServiceEstimate returns the level's observed mean service time in
+// nanoseconds (0 before any completion). The scheduler's slack-aware
+// urgent queue uses it to judge whether a deque's deadline is within
+// one service time of expiring (see sched.Config.UrgentSlack).
+func (c *Controller) ServiceEstimate(l int) int64 {
+	if l < 0 || l >= c.levels {
+		return 0
+	}
+	return c.lvl[l].svcMean.Load()
+}
+
+// Predictor returns the controller's service-time predictor (nil
+// unless the policy is Predictive or Config.Predictor was supplied).
+func (c *Controller) Predictor() *predict.Predictor { return c.pred }
 
 func (c *Controller) shed(ls *levelState, err error) error {
 	ls.shed.Add(1)
@@ -378,11 +563,16 @@ func (c *Controller) shed(ls *levelState, err error) error {
 	return err
 }
 
-// release un-charges one finished (or abandoned) request.
-func (c *Controller) release(l int, timedOut bool) {
+// release un-charges one finished (or abandoned) request. charge is
+// the predicted-service backlog charge taken at admission (0 outside
+// the Predictive policy).
+func (c *Controller) release(l int, charge int64, timedOut bool) {
 	ls := &c.lvl[l]
 	ls.occ.Add(-1)
 	c.total.Add(-1)
+	if charge != 0 {
+		ls.backlog.Add(-charge)
+	}
 	if timedOut {
 		ls.timedOut.Add(1)
 	} else {
@@ -399,16 +589,50 @@ func (c *Controller) release(l int, timedOut bool) {
 // case where the body never executes (Future.OnComplete covers all
 // three; a body-side defer would miss the last).
 func (c *Controller) Submit(l int, fn func(*sched.Task) any) (*sched.Future, error) {
-	if err := c.admit(l); err != nil {
+	return c.SubmitClassSince(l, levelClass(l), time.Time{}, fn)
+}
+
+// SubmitSince is Submit for callers that can timestamp the request's
+// arrival (e.g. when its bytes were read off the wire): sojourn
+// samples and the predictive wait model then measure from genuine
+// arrival instead of submission.
+func (c *Controller) SubmitSince(l int, arrival time.Time, fn func(*sched.Task) any) (*sched.Future, error) {
+	return c.SubmitClassSince(l, levelClass(l), arrival, fn)
+}
+
+// SubmitClass is Submit with an application request class, so the
+// Predictive policy predicts and trains per class instead of lumping
+// the level together.
+func (c *Controller) SubmitClass(l int, cls predict.Class, fn func(*sched.Task) any) (*sched.Future, error) {
+	return c.SubmitClassSince(l, cls, time.Time{}, fn)
+}
+
+// SubmitClassSince is the fully-informed submission: request class
+// for the predictor and arrival timestamp for the sojourn/slack
+// accounting. A zero arrival means "unknown" — sojourns then measure
+// from submission, and the predictive slack model assumes the full
+// deadline remains. Under the Predictive policy the body's measured
+// service time (body start to return) is fed back into the predictor
+// on normal completion; cancelled bodies feed nothing, since a
+// truncated measurement would train the predictor to underestimate
+// exactly the classes that are timing out.
+func (c *Controller) SubmitClassSince(l int, cls predict.Class, arrival time.Time, fn func(*sched.Task) any) (*sched.Future, error) {
+	var arrivalNS int64
+	if !arrival.IsZero() {
+		arrivalNS = arrival.UnixNano()
+	}
+	charge, err := c.admit(l, cls, arrivalNS)
+	if err != nil {
 		return nil, err
 	}
-	codel := c.cfg.Policy == CoDel
-	var enq time.Time
-	if codel {
+	sojourn := c.cfg.Policy == CoDel || c.cfg.Policy == Predictive
+	feed := c.pred != nil
+	enq := arrival
+	if sojourn && enq.IsZero() {
 		enq = time.Now()
 	}
 	f := c.sub.SubmitFutureWithDeadline(l, c.timeouts[l], func(t *sched.Task) any {
-		if codel {
+		if sojourn {
 			now := time.Now()
 			c.lvl[l].codel.sample(now.UnixNano(), now.Sub(enq).Nanoseconds(),
 				c.cfg.CoDelTarget, c.cfg.CoDelInterval)
@@ -417,9 +641,17 @@ func (c *Controller) Submit(l int, fn func(*sched.Task) any) (*sched.Future, err
 			// Fired between resume and body start: abandon early.
 			return nil
 		}
-		return fn(t)
+		var started time.Time
+		if feed {
+			started = time.Now()
+		}
+		v := fn(t)
+		if feed {
+			c.noteService(l, cls, time.Since(started).Nanoseconds())
+		}
+		return v
 	})
-	f.OnComplete(func(err error) { c.release(l, err != nil) })
+	f.OnComplete(func(err error) { c.release(l, charge, err != nil) })
 	return f, nil
 }
 
@@ -427,7 +659,10 @@ func (c *Controller) Submit(l int, fn func(*sched.Task) any) (*sched.Future, err
 // Acquire or AcquireSince. It is a value type: the acquire/release
 // pair allocates nothing.
 type Ticket struct {
-	level int
+	level   int
+	cls     predict.Class
+	admitNS int64 // admit time for the service measurement; 0 = no predictor feedback
+	charge  int64 // predicted-service backlog charge taken at admission
 }
 
 // Acquire admits one inline request (one a caller executes on its own
@@ -445,33 +680,66 @@ type Ticket struct {
 // to CoDel; under plain Acquire alone the CoDel policy degenerates to
 // the tail-drop capacity backstop.
 func (c *Controller) Acquire(l int) (Ticket, error) {
-	if err := c.admit(l); err != nil {
-		return Ticket{}, err
-	}
-	return Ticket{level: l}, nil
+	return c.AcquireClassSince(l, levelClass(l), time.Time{})
 }
 
 // AcquireSince is Acquire for callers that can timestamp the
 // request's arrival: the wait from arrival to admission is a genuine
-// queue sojourn and is fed to the CoDel estimator. Under the other
-// policies it behaves exactly like Acquire.
+// queue sojourn and is fed to the CoDel estimator (and, under
+// Predictive, subtracted from the request's remaining deadline
+// slack). Under the occupancy-only policies it behaves exactly like
+// Acquire.
 func (c *Controller) AcquireSince(l int, arrival time.Time) (Ticket, error) {
-	if err := c.admit(l); err != nil {
+	return c.AcquireClassSince(l, levelClass(l), arrival)
+}
+
+// AcquireClass is Acquire with an application request class (see
+// SubmitClass).
+func (c *Controller) AcquireClass(l int, cls predict.Class) (Ticket, error) {
+	return c.AcquireClassSince(l, cls, time.Time{})
+}
+
+// AcquireClassSince is the fully-informed inline admission: request
+// class for the predictor and arrival timestamp for the sojourn and
+// slack accounting (zero arrival = unknown, as in SubmitClassSince).
+// When a predictor is attached, the ticket carries the admit time and
+// Release feeds admit→release as the request's measured service time.
+func (c *Controller) AcquireClassSince(l int, cls predict.Class, arrival time.Time) (Ticket, error) {
+	var arrivalNS int64
+	if !arrival.IsZero() {
+		arrivalNS = arrival.UnixNano()
+	}
+	charge, err := c.admit(l, cls, arrivalNS)
+	if err != nil {
 		return Ticket{}, err
 	}
-	if c.cfg.Policy == CoDel {
+	tk := Ticket{level: l, cls: cls, charge: charge}
+	sojourn := c.cfg.Policy == CoDel || c.cfg.Policy == Predictive
+	if c.pred != nil || (sojourn && arrivalNS > 0) {
 		now := time.Now()
-		c.lvl[l].codel.sample(now.UnixNano(), now.Sub(arrival).Nanoseconds(),
-			c.cfg.CoDelTarget, c.cfg.CoDelInterval)
+		if sojourn && arrivalNS > 0 {
+			c.lvl[l].codel.sample(now.UnixNano(), now.Sub(arrival).Nanoseconds(),
+				c.cfg.CoDelTarget, c.cfg.CoDelInterval)
+		}
+		if c.pred != nil {
+			tk.admitNS = now.UnixNano()
+		}
 	}
-	return Ticket{level: l}, nil
+	return tk, nil
 }
 
 // Release completes an inline request. late reports that the request
 // exceeded its deadline (the caller enforces inline deadlines, since
-// the work ran on the caller's own task).
+// the work ran on the caller's own task). A late inline request still
+// feeds its measured service time to the predictor: unlike a
+// cancelled future body, the work ran to completion, so the
+// measurement is a genuine (and informative — it is exactly the
+// overruns the predictor must learn) service time.
 func (c *Controller) Release(tk Ticket, late bool) {
-	c.release(tk.level, late)
+	if tk.admitNS > 0 {
+		c.noteService(tk.level, tk.cls, time.Now().UnixNano()-tk.admitNS)
+	}
+	c.release(tk.level, tk.charge, late)
 }
 
 // Degraded reports sustained 100%-shed operation: at least
@@ -489,6 +757,13 @@ type LevelStats struct {
 	Shed      int64 `json:"shed"`
 	Completed int64 `json:"completed"`
 	TimedOut  int64 `json:"timedOut"`
+	// PredictShed counts Predictive rejections (a subset of Shed);
+	// MeanServiceNS is the level's observed mean service time;
+	// BacklogNS is the predicted total service of admitted in-flight
+	// requests.
+	PredictShed   int64 `json:"predictShed,omitempty"`
+	MeanServiceNS int64 `json:"meanServiceNs,omitempty"`
+	BacklogNS     int64 `json:"backlogNs,omitempty"`
 }
 
 // Stats is a point-in-time controller snapshot.
@@ -497,6 +772,9 @@ type Stats struct {
 	Total    int64        `json:"totalOccupancy"`
 	Degraded bool         `json:"degraded"`
 	PerLevel []LevelStats `json:"perLevel"`
+	// Predict is the predictor's snapshot, present only when the
+	// controller carries one.
+	Predict *predict.Snapshot `json:"predict,omitempty"`
 }
 
 // Stats snapshots the controller's counters.
@@ -510,13 +788,20 @@ func (c *Controller) Stats() Stats {
 	for l := range s.PerLevel {
 		ls := &c.lvl[l]
 		s.PerLevel[l] = LevelStats{
-			Level:     l,
-			Occupancy: ls.occ.Load(),
-			Admitted:  ls.admitted.Load(),
-			Shed:      ls.shed.Load(),
-			Completed: ls.completed.Load(),
-			TimedOut:  ls.timedOut.Load(),
+			Level:         l,
+			Occupancy:     ls.occ.Load(),
+			Admitted:      ls.admitted.Load(),
+			Shed:          ls.shed.Load(),
+			Completed:     ls.completed.Load(),
+			TimedOut:      ls.timedOut.Load(),
+			PredictShed:   ls.predShed.Load(),
+			MeanServiceNS: ls.svcMean.Load(),
+			BacklogNS:     ls.backlog.Load(),
 		}
+	}
+	if c.pred != nil {
+		ps := c.pred.Snapshot()
+		s.Predict = &ps
 	}
 	return s
 }
@@ -554,5 +839,19 @@ func (c *Controller) RegisterMetrics(reg *metrics.Registry) {
 		reg.CounterFunc("icilk_admission_completed_total",
 			"Admitted requests that finished before their deadline.",
 			func() float64 { return float64(ls.completed.Load()) }, lbl)
+		if c.pred != nil {
+			reg.CounterFunc("icilk_admission_predicted_shed_total",
+				"Requests rejected on a predicted deadline miss.",
+				func() float64 { return float64(ls.predShed.Load()) }, lbl)
+			reg.GaugeFunc("icilk_admission_mean_service_seconds",
+				"Observed mean service time at this priority level.",
+				func() float64 { return float64(ls.svcMean.Load()) / 1e9 }, lbl)
+			reg.GaugeFunc("icilk_admission_predicted_backlog_seconds",
+				"Predicted total service time of admitted in-flight requests.",
+				func() float64 { return float64(ls.backlog.Load()) / 1e9 }, lbl)
+		}
+	}
+	if c.pred != nil {
+		c.pred.RegisterMetrics(reg)
 	}
 }

@@ -404,7 +404,12 @@ func TestSubmitReleasesOnEveryPath(t *testing.T) {
 	rt2 := newRT(t, 1, 1)
 	c2 := newCtl(t, rt2, Config{QueueCap: 64, Timeout: 15 * time.Millisecond})
 	release := make(chan struct{})
-	hog, err := c2.Submit(0, func(task *sched.Task) any {
+	// Pin the worker with a deadline-free direct submission: an
+	// admission-submitted hog would share the 15ms deadline, and its
+	// own cancellation could free the worker just before the queued
+	// request's timer fires — a racy microsecond window in which the
+	// doomed body would genuinely run.
+	hog := rt2.SubmitFuture(0, func(task *sched.Task) any {
 		for {
 			select {
 			case <-release:
@@ -414,9 +419,6 @@ func TestSubmitReleasesOnEveryPath(t *testing.T) {
 			}
 		}
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	var ran atomic.Bool
 	queued, err := c2.Submit(0, func(task *sched.Task) any {
 		ran.Store(true)
@@ -425,9 +427,13 @@ func TestSubmitReleasesOnEveryPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued.Wait()
+	// Hold the worker until the queued request's deadline is well past,
+	// then free it: the worker pops the doomed deque and abandons it
+	// without running the body.
+	time.Sleep(50 * time.Millisecond)
 	close(release)
 	hog.Wait()
+	queued.Wait()
 	if ran.Load() {
 		t.Fatal("doomed queued request ran its body")
 	}

@@ -24,8 +24,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"icilk"
+	"icilk/internal/predict"
 )
 
 // Priority levels of the four operations.
@@ -36,6 +38,17 @@ const (
 	LevelPrint    = 2
 	// Levels is the number of priority levels the server needs.
 	Levels = 3
+)
+
+// Predictor request classes, one opcode per operation. The size
+// bucket carries the cost-relevant input: the message body length for
+// send, the mailbox population for the three whole-mailbox
+// operations.
+const (
+	classSend uint8 = 1 + iota
+	classSort
+	classCompress
+	classPrint
 )
 
 // Message is one email.
@@ -104,12 +117,25 @@ func (s *Server) Users() int { return len(s.boxes) }
 func (s *Server) SetAdmission(adm *icilk.AdmissionController) { s.adm = adm }
 
 // submit routes one operation through the admission controller when
-// one is attached, or straight to the runtime otherwise.
-func (s *Server) submit(level int, fn func(*icilk.Task) any) (*icilk.Future, error) {
+// one is attached, or straight to the runtime otherwise. cls is the
+// operation's predictor class; arrival, when non-zero, is the
+// caller-observed request arrival time (netfront timestamps it when
+// the command line comes off the wire), so sojourn samples and the
+// predictive policy's slack model see genuine queueing.
+func (s *Server) submit(level int, cls predict.Class, arrival time.Time, fn func(*icilk.Task) any) (*icilk.Future, error) {
 	if s.adm != nil {
-		return s.adm.Submit(level, fn)
+		return s.adm.SubmitClassSince(level, cls, arrival, fn)
 	}
 	return s.rt.Submit(level, fn), nil
+}
+
+// boxSize returns user's current mailbox population (the size signal
+// for the whole-mailbox operation classes).
+func (s *Server) boxSize(user int) int {
+	b := s.boxes[user%len(s.boxes)]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.messages)
 }
 
 // MailboxLen returns user u's current message count (tests).
@@ -131,7 +157,14 @@ func (s *Server) Send(user int, from, subject string, body []byte) *icilk.Future
 // TrySend is Send gated by the attached admission controller: a shed
 // request returns a nil future and an error wrapping icilk.ErrShed.
 func (s *Server) TrySend(user int, from, subject string, body []byte) (*icilk.Future, error) {
-	return s.submit(LevelSend, func(t *icilk.Task) any {
+	return s.TrySendSince(user, from, subject, body, time.Time{})
+}
+
+// TrySendSince is TrySend with the caller-observed arrival time
+// (netfront timestamps the command line coming off the wire).
+func (s *Server) TrySendSince(user int, from, subject string, body []byte, arrival time.Time) (*icilk.Future, error) {
+	cls := predict.Class{Op: classSend, Size: predict.SizeBucket(len(body))}
+	return s.submit(LevelSend, cls, arrival, func(t *icilk.Task) any {
 		s.doSend(user, from, subject, body)
 		return nil
 	})
@@ -164,7 +197,13 @@ func (s *Server) Sort(user int) *icilk.Future {
 
 // TrySort is Sort gated by the attached admission controller.
 func (s *Server) TrySort(user int) (*icilk.Future, error) {
-	return s.submit(LevelSort, func(t *icilk.Task) any {
+	return s.TrySortSince(user, time.Time{})
+}
+
+// TrySortSince is TrySort with the caller-observed arrival time.
+func (s *Server) TrySortSince(user int, arrival time.Time) (*icilk.Future, error) {
+	cls := predict.Class{Op: classSort, Size: predict.SizeBucket(s.boxSize(user))}
+	return s.submit(LevelSort, cls, arrival, func(t *icilk.Task) any {
 		s.doSort(t, user)
 		return nil
 	})
@@ -221,7 +260,14 @@ func (s *Server) Compress(user int) *icilk.Future {
 
 // TryCompress is Compress gated by the attached admission controller.
 func (s *Server) TryCompress(user int) (*icilk.Future, error) {
-	return s.submit(LevelCompress, func(t *icilk.Task) any {
+	return s.TryCompressSince(user, time.Time{})
+}
+
+// TryCompressSince is TryCompress with the caller-observed arrival
+// time.
+func (s *Server) TryCompressSince(user int, arrival time.Time) (*icilk.Future, error) {
+	cls := predict.Class{Op: classCompress, Size: predict.SizeBucket(s.boxSize(user))}
+	return s.submit(LevelCompress, cls, arrival, func(t *icilk.Task) any {
 		return s.doCompress(t, user)
 	})
 }
@@ -273,7 +319,13 @@ func (s *Server) Print(user int) *icilk.Future {
 
 // TryPrint is Print gated by the attached admission controller.
 func (s *Server) TryPrint(user int) (*icilk.Future, error) {
-	return s.submit(LevelPrint, func(t *icilk.Task) any {
+	return s.TryPrintSince(user, time.Time{})
+}
+
+// TryPrintSince is TryPrint with the caller-observed arrival time.
+func (s *Server) TryPrintSince(user int, arrival time.Time) (*icilk.Future, error) {
+	cls := predict.Class{Op: classPrint, Size: predict.SizeBucket(s.boxSize(user))}
+	return s.submit(LevelPrint, cls, arrival, func(t *icilk.Task) any {
 		return s.doPrint(t, user)
 	})
 }

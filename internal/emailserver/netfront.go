@@ -129,6 +129,10 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 		if err != nil {
 			return
 		}
+		// The request's genuine arrival: its command line is off the
+		// wire. Parsing, body reads, and admission queueing from here on
+		// are real sojourn the admission estimators should see.
+		arrival := time.Now()
 		fields = wire.Fields(fields[:0], line)
 		if len(fields) == 0 {
 			continue
@@ -155,7 +159,7 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 				return
 			}
 			t0 = time.Now()
-			f, aerr = nf.srv.TrySend(int(user), from, subject, body)
+			f, aerr = nf.srv.TrySendSince(int(user), from, subject, body, arrival)
 			recOp, withVal = "send", false
 
 		case "SORT":
@@ -164,7 +168,7 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 				continue
 			}
 			t0 = time.Now()
-			f, aerr = nf.srv.TrySort(user)
+			f, aerr = nf.srv.TrySortSince(user, arrival)
 			recOp, withVal = "sort", false
 
 		case "COMPRESS":
@@ -173,7 +177,7 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 				continue
 			}
 			t0 = time.Now()
-			f, aerr = nf.srv.TryCompress(user)
+			f, aerr = nf.srv.TryCompressSince(user, arrival)
 			recOp, withVal = "comp", true
 
 		case "PRINT":
@@ -182,7 +186,7 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 				continue
 			}
 			t0 = time.Now()
-			f, aerr = nf.srv.TryPrint(user)
+			f, aerr = nf.srv.TryPrintSince(user, arrival)
 			recOp, withVal = "print", true
 
 		case "QUIT":

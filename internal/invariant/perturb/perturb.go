@@ -57,9 +57,10 @@ const (
 	Abandon
 	Enqueue
 	Dequeue
-	Check  // the frequent bitfield/cancellation check (maybeSwitch)
-	Submit // external submission entering the runtime
-	IO     // I/O pool handoff
+	Check   // the frequent bitfield/cancellation check (maybeSwitch)
+	Submit  // external submission entering the runtime
+	IO      // I/O pool handoff
+	Predict // service-time predictor read/update ordering (internal/predict)
 	numPoints
 )
 

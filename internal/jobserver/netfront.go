@@ -102,6 +102,10 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 		if err != nil {
 			return
 		}
+		// The request's genuine arrival: its RUN line is off the wire.
+		// Parsing and admission queueing from here on are real sojourn
+		// the admission estimators should see.
+		arrival := time.Now()
 		fields = wire.Fields(fields[:0], line)
 		if len(fields) == 0 {
 			continue
@@ -132,7 +136,7 @@ func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
 			// server requires.
 			t0 := time.Now()
 			className := classNames[class]
-			f, aerr := nf.srv.TryDo(class, seed)
+			f, aerr := nf.srv.TryDoSince(class, seed, arrival)
 			if aerr != nil {
 				// Shed by admission control: immediate rejection, no
 				// scheduler involvement; the client may retry or route

@@ -2,8 +2,10 @@ package jobserver
 
 import (
 	"fmt"
+	"time"
 
 	"icilk"
+	"icilk/internal/predict"
 	"icilk/internal/xrand"
 )
 
@@ -101,11 +103,27 @@ func (s *Server) Do(class int, seq int64) *icilk.Future {
 // returns a nil future and an error wrapping icilk.ErrShed. Without a
 // controller it behaves like Do.
 func (s *Server) TryDo(class int, seq int64) (*icilk.Future, error) {
+	return s.TryDoSince(class, seq, time.Time{})
+}
+
+// TryDoSince is TryDo with the caller-observed arrival time (netfront
+// timestamps the RUN line coming off the wire), so admission sojourn
+// samples and the predictive policy's slack model see genuine
+// queueing.
+func (s *Server) TryDoSince(class int, seq int64, arrival time.Time) (*icilk.Future, error) {
 	level, fn := s.job(class, seq)
 	if s.adm != nil {
-		return s.adm.Submit(level, fn)
+		return s.adm.SubmitClassSince(level, s.predictClass(class), arrival, fn)
 	}
 	return s.rt.Submit(level, fn), nil
+}
+
+// predictClass maps a job class to its predictor class: one opcode
+// per class, size bucket from the class's configured input size (the
+// cost-determining input is fixed per class on one server).
+func (s *Server) predictClass(class int) predict.Class {
+	size := [4]int{s.cfg.MMSize, s.cfg.FibN, s.cfg.SortSize, s.cfg.SWSize}[class&3]
+	return predict.Class{Op: 1 + uint8(class&3), Size: predict.SizeBucket(size)}
 }
 
 func randomMatrix(n int, seed uint64) []float64 {

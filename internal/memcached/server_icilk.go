@@ -7,6 +7,7 @@ import (
 	"icilk"
 	"icilk/internal/metrics"
 	"icilk/internal/netsim"
+	"icilk/internal/predict"
 	"icilk/internal/stats"
 )
 
@@ -186,6 +187,10 @@ func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 		if err != nil {
 			return // EOF: client disconnected
 		}
+		// The request's genuine arrival: its first line is off the
+		// wire. Queueing from here on (data-block reads, admission) is
+		// real sojourn the admission estimators should see.
+		arrival := time.Now()
 		needData, perr := ParseCommandB(line, &req)
 		if perr != nil {
 			ep.Write(perr)
@@ -208,11 +213,14 @@ func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 		}
 		// Admission decision only after the request is fully read:
 		// shedding before consuming the data block would desync the
-		// protocol framing.
+		// protocol framing. The class (opcode × value-size bucket) and
+		// the arrival timestamp let the predictive policy estimate this
+		// request's cost and remaining slack.
 		var tk icilk.AdmissionTicket
 		if s.cfg.Admission != nil {
+			cls := predict.Class{Op: uint8(req.Op), Size: predict.SizeBucket(len(req.Data))}
 			var aerr error
-			if tk, aerr = s.cfg.Admission.Acquire(s.cfg.RequestLevel); aerr != nil {
+			if tk, aerr = s.cfg.Admission.AcquireClassSince(s.cfg.RequestLevel, cls, arrival); aerr != nil {
 				ep.Write(replyOutOfCapacity)
 				continue
 			}
@@ -257,6 +265,7 @@ func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineRea
 		if err != nil {
 			return
 		}
+		arrival := time.Now()
 		h := parseBinHeader(hdr)
 		if h.magic != binReqMagic {
 			return // framing lost; drop the connection
@@ -270,8 +279,11 @@ func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineRea
 		}
 		var tk icilk.AdmissionTicket
 		if s.cfg.Admission != nil {
+			// 0x80 | opcode keeps binary-protocol classes disjoint from
+			// the text opCode space on a mixed-protocol server.
+			cls := predict.Class{Op: 0x80 | h.opcode, Size: predict.SizeBucket(int(h.bodyLen))}
 			var aerr error
-			if tk, aerr = s.cfg.Admission.Acquire(s.cfg.RequestLevel); aerr != nil {
+			if tk, aerr = s.cfg.Admission.AcquireClassSince(s.cfg.RequestLevel, cls, arrival); aerr != nil {
 				reply = appendBinError(reply[:0], h.opcode, binStatusTmpFail, h.opaque, "out of capacity")
 				ep.Write(reply)
 				continue

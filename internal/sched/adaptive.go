@@ -435,6 +435,10 @@ func (p *greedyPolicy) poolDepths(level int) (regular, mugging int) {
 	return p.pool.depths(level)
 }
 
+func (p *greedyPolicy) urgentDepth(level int) int {
+	return p.pool.urgentDepth(level)
+}
+
 // allocator is the shared top-level quantum scheduler of the Adaptive
 // variants: each quantum it measures per-level utilization and
 // recomputes worker-to-level assignments by multiplicative

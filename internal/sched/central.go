@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"time"
+
 	"icilk/internal/deque"
 	"icilk/internal/fifoq"
 	"icilk/internal/invariant"
@@ -15,6 +17,20 @@ import (
 // behind deques that became resumable after them (Section 4, "Support
 // for Aging").
 //
+// When Config.UrgentSlack is set, each level additionally carries an
+// urgent queue — an EDF-ish, k-relaxed tie-break *within* the level:
+// a deque whose deadline slack (deadline − now − the level's
+// estimated service time) has shrunk below UrgentSlack is enqueued
+// there, and thieves drain it after the mugging queue but before the
+// regular queue. The classification happens per enqueue, so a deque
+// that ages while queued is re-classified the next time a thief
+// pushes it back. Crucially, the promptness bitfield and the
+// cross-level order are untouched — a level's bit means "some queue
+// at this level has work", whichever of the three it is — so the
+// paper's high-priority reaction bound survives; only same-level FIFO
+// order is relaxed, which the k-relaxed priority-scheduling
+// literature shows preserves scheduling bounds.
+//
 // The pool is shared by the Prompt policy and by AdaptiveGreedy's
 // bottom level.
 type centralPool struct {
@@ -25,6 +41,7 @@ type centralPool struct {
 type centralLevel struct {
 	regular *fifoq.Queue[*dq]
 	mugging *fifoq.Queue[*dq]
+	urgent  *fifoq.Queue[*dq] // nil unless Config.UrgentSlack > 0
 }
 
 func newCentralPool(rt *Runtime) *centralPool {
@@ -34,8 +51,28 @@ func newCentralPool(rt *Runtime) *centralPool {
 			regular: fifoq.New[*dq](rt.col),
 			mugging: fifoq.New[*dq](rt.col),
 		}
+		if rt.cfg.UrgentSlack > 0 {
+			p.levels[i].urgent = fifoq.New[*dq](rt.col)
+		}
 	}
 	return p
+}
+
+// urgentFor reports whether d should jump the level's regular FIFO:
+// it carries a deadline, and the remaining slack after the level's
+// estimated service time is below the configured threshold. A deque
+// already past its deadline still classifies as urgent — its
+// cancellation fires fastest when a worker picks it up and unwinds
+// it, releasing its occupancy.
+func (p *centralPool) urgentFor(d *dq, lvl int) bool {
+	if p.levels[lvl].urgent == nil {
+		return false
+	}
+	dl := d.DeadlineNS()
+	if dl == 0 {
+		return false
+	}
+	return dl-time.Now().UnixNano()-p.rt.serviceEstimate(lvl) < int64(p.rt.cfg.UrgentSlack)
 }
 
 // enqueue pushes d onto its level's queue (mugging when mug is true)
@@ -46,9 +83,13 @@ func newCentralPool(rt *Runtime) *centralPool {
 func (p *centralPool) enqueue(d *dq, mug bool) {
 	h := p.rt.handle()
 	lvl := d.Level()
-	if mug {
+	switch {
+	case mug:
 		p.levels[lvl].mugging.Enqueue(h, d)
-	} else {
+	case p.urgentFor(d, lvl):
+		p.levels[lvl].urgent.Enqueue(h, d)
+		p.rt.urgentEnqs.Add(1)
+	default:
 		p.levels[lvl].regular.Enqueue(h, d)
 	}
 	p.rt.release(h)
@@ -70,14 +111,34 @@ func (p *centralPool) enqueue(d *dq, mug bool) {
 }
 
 // depths returns the instantaneous regular and mugging queue depths
-// at level (size estimates; see fifoq.Len).
+// at level (size estimates; see fifoq.Len). The regular figure folds
+// in the urgent queue: both hold the same discoverable population,
+// split only by slack.
 func (p *centralPool) depths(level int) (regular, mugging int) {
-	return p.levels[level].regular.Len(), p.levels[level].mugging.Len()
+	lp := &p.levels[level]
+	regular = lp.regular.Len()
+	if lp.urgent != nil {
+		regular += lp.urgent.Len()
+	}
+	return regular, lp.mugging.Len()
 }
 
-// empty reports whether the level's pool (both queues) appears empty.
+// urgentDepth returns the urgent queue's instantaneous depth (0 when
+// the urgent queue is disabled).
+func (p *centralPool) urgentDepth(level int) int {
+	if q := p.levels[level].urgent; q != nil {
+		return q.Len()
+	}
+	return 0
+}
+
+// empty reports whether the level's pool (all queues) appears empty.
 func (p *centralPool) empty(level int) bool {
-	return p.levels[level].mugging.Empty() && p.levels[level].regular.Empty()
+	lp := &p.levels[level]
+	if lp.urgent != nil && !lp.urgent.Empty() {
+		return false
+	}
+	return lp.mugging.Empty() && lp.regular.Empty()
 }
 
 // pop tries to extract one runnable frame at the given level for
@@ -96,7 +157,14 @@ func (p *centralPool) pop(w *worker, level int) (*node, *dq, bool) {
 		d, ok := lp.mugging.Dequeue(w.part)
 		if !ok {
 			fromMugging = false
-			d, ok = lp.regular.Dequeue(w.part)
+			if lp.urgent != nil {
+				if d, ok = lp.urgent.Dequeue(w.part); ok {
+					p.rt.urgentPops.Add(1)
+				}
+			}
+			if !ok {
+				d, ok = lp.regular.Dequeue(w.part)
+			}
 		}
 		if !ok {
 			return nil, nil, false
@@ -132,6 +200,11 @@ func (p *centralPool) pop(w *worker, level int) (*node, *dq, bool) {
 			w.clock.CountSteal()
 			p.rt.trace.Add(trace.Steal, w.id, level)
 			nd := p.rt.newDeque(level)
+			// A stolen frame belongs to the same task tree, so its
+			// adopted deque inherits the source deque's deadline.
+			if dl := d.DeadlineNS(); dl != 0 {
+				nd.SetDeadlineNS(dl)
+			}
 			return frame.(*node), nd, true
 		}
 	}

@@ -19,6 +19,10 @@ type LevelSnapshot struct {
 	// meaning).
 	RegularDepth int `json:"regularDepth"`
 	MuggingDepth int `json:"muggingDepth"`
+	// UrgentDepth is the slack-aware urgent queue's population
+	// (centralized pools with Config.UrgentSlack only; 0 otherwise).
+	// RegularDepth already includes it.
+	UrgentDepth int `json:"urgentDepth,omitempty"`
 }
 
 // WorkerSnapshot is the observable state of one worker.
@@ -68,6 +72,7 @@ func (rt *Runtime) Snapshot() Snapshot {
 		PerLevel:   make([]LevelSnapshot, rt.cfg.Levels),
 		PerWorker:  make([]WorkerSnapshot, len(rt.workers)),
 	}
+	urg, _ := rt.pol.(urgentObserver)
 	for l := 0; l < rt.cfg.Levels; l++ {
 		reg, mug := rt.pol.poolDepths(l)
 		s.PerLevel[l] = LevelSnapshot{
@@ -76,6 +81,9 @@ func (rt *Runtime) Snapshot() Snapshot {
 			NonEmptyDeques: rt.nonEmpty[l].Load(),
 			RegularDepth:   reg,
 			MuggingDepth:   mug,
+		}
+		if urg != nil {
+			s.PerLevel[l].UrgentDepth = urg.urgentDepth(l)
 		}
 	}
 	for i, w := range rt.workers {
@@ -167,5 +175,23 @@ func (rt *Runtime) RegisterMetrics(reg *metrics.Registry) {
 			"Deques in the level's mugging queue (aging-queue length for Adaptive).",
 			func() float64 { _, mug := rt.pol.poolDepths(l); return float64(mug) },
 			metrics.LevelLabel(l))
+		if urg, ok := rt.pol.(urgentObserver); ok && rt.cfg.UrgentSlack > 0 {
+			reg.GaugeFunc("icilk_pool_urgent_depth",
+				"Deques in the level's slack-aware urgent queue.",
+				func() float64 { return float64(urg.urgentDepth(l)) },
+				metrics.LevelLabel(l))
+		}
+	}
+	if rt.cfg.UrgentSlack > 0 {
+		reg.CounterFunc("icilk_urgent_enqueues_total",
+			"Deques classified urgent (slack below UrgentSlack) at pool enqueue.",
+			func() float64 { e, _ := rt.UrgentStats(); return float64(e) })
+		reg.CounterFunc("icilk_urgent_pops_total",
+			"Deques popped from an urgent queue ahead of the regular FIFO.",
+			func() float64 { _, p := rt.UrgentStats(); return float64(p) })
 	}
 }
+
+// urgentObserver is the optional policy surface exposing the urgent
+// queue's depth (the centralized-pool policies implement it).
+type urgentObserver interface{ urgentDepth(level int) int }

@@ -131,3 +131,7 @@ func (p *promptPolicy) checkSwitch(w *worker, level int) (int, bool) {
 func (p *promptPolicy) poolDepths(level int) (regular, mugging int) {
 	return p.pool.depths(level)
 }
+
+func (p *promptPolicy) urgentDepth(level int) int {
+	return p.pool.urgentDepth(level)
+}

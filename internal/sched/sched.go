@@ -142,6 +142,20 @@ type Config struct {
 	// awaiting reuse; the rest exit and are collected, so idle memory
 	// is bounded. Default 256.
 	RecycleCap int
+	// UrgentSlack enables the slack-aware tie-break *within* a
+	// priority level for the centralized-pool policies (Prompt,
+	// AdaptiveGreedy): a deque whose deadline slack — deadline minus
+	// now minus the level's estimated service time (see
+	// SetServiceEstimate) — is below UrgentSlack is enqueued on the
+	// level's urgent queue, which thieves drain after the mugging
+	// queue and before the regular queue. This is an EDF-flavored
+	// k-relaxed ordering: the global promptness bitfield and the
+	// cross-level pop order are untouched, so the paper's
+	// high-priority reaction bound is preserved; only same-level FIFO
+	// order is relaxed, and only for deadline-carrying deques. Zero
+	// disables the urgent queue entirely (same-level order stays pure
+	// FIFO).
+	UrgentSlack time.Duration
 }
 
 func (c *Config) applyDefaults() error {
@@ -227,6 +241,18 @@ type Runtime struct {
 	// waiters, plus external submissions entering as resumable).
 	resumes atomic.Int64
 
+	// svcEst is the per-level mean-service-time estimator (ns) behind
+	// the urgent-queue slack test; installed by SetServiceEstimate
+	// (typically wired to the admission controller's observed means).
+	// Nil estimator = estimate 0, i.e. "urgent" means within
+	// UrgentSlack of the raw deadline.
+	svcEst atomic.Pointer[func(level int) int64]
+
+	// urgentEnqs / urgentPops count urgent-queue traffic (slack-aware
+	// tie-break observability).
+	urgentEnqs atomic.Int64
+	urgentPops atomic.Int64
+
 	// inv tracks dynamically detected priority inversions.
 	inv inversionState
 
@@ -301,6 +327,34 @@ func (rt *Runtime) Levels() int { return rt.cfg.Levels }
 
 // Workers returns the configured number of workers.
 func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// SetServiceEstimate installs the per-level mean-service-time
+// estimator (nanoseconds; 0 = unknown) consulted by the urgent-queue
+// slack test when Config.UrgentSlack is set. fn must be safe for
+// concurrent use and cheap — it runs on the pool enqueue path. A nil
+// fn removes the estimator.
+func (rt *Runtime) SetServiceEstimate(fn func(level int) int64) {
+	if fn == nil {
+		rt.svcEst.Store(nil)
+		return
+	}
+	rt.svcEst.Store(&fn)
+}
+
+// serviceEstimate returns the installed estimator's mean service time
+// for level, or 0 without one.
+func (rt *Runtime) serviceEstimate(level int) int64 {
+	if p := rt.svcEst.Load(); p != nil {
+		return (*p)(level)
+	}
+	return 0
+}
+
+// UrgentStats returns the urgent-queue enqueue and pop counts (zero
+// unless Config.UrgentSlack is enabled).
+func (rt *Runtime) UrgentStats() (enqueues, pops int64) {
+	return rt.urgentEnqs.Load(), rt.urgentPops.Load()
+}
 
 // NonEmptyDeques returns the instantaneous count of deques holding
 // work at the given level (Figure 2's quantity).
@@ -520,6 +574,9 @@ func (w *worker) execute(n *node) {
 				// the parent on a fresh deque (the classic
 				// provably-good resume).
 				nd := w.rt.newDeque(msg.ready.t.level)
+				if c := msg.ready.t.cancel; c != nil && c.deadlineNS != 0 {
+					nd.SetDeadlineNS(c.deadlineNS)
+				}
 				w.rt.pol.onAdopt(w, nd)
 				w.active = nd
 				w.level.Store(int32(nd.Level()))

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func urgentRT(t *testing.T, workers int, slack time.Duration) *Runtime {
+	t.Helper()
+	rt, err := New(Config{Workers: workers, Levels: 2, Policy: Prompt, UrgentSlack: slack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestUrgentForClassification unit-tests the slack test that decides
+// whether a deque jumps its level's regular FIFO.
+func TestUrgentForClassification(t *testing.T) {
+	rt := urgentRT(t, 1, 5*time.Millisecond)
+	pool := rt.pol.(*promptPolicy).pool
+
+	d := rt.newDeque(0)
+	if pool.urgentFor(d, 0) {
+		t.Fatal("deadline-free deque classified urgent")
+	}
+	d.SetDeadlineNS(time.Now().Add(time.Second).UnixNano())
+	if pool.urgentFor(d, 0) {
+		t.Fatal("1s of slack against a 5ms threshold classified urgent")
+	}
+	d.SetDeadlineNS(time.Now().Add(time.Millisecond).UnixNano())
+	if !pool.urgentFor(d, 0) {
+		t.Fatal("1ms of slack against a 5ms threshold not urgent")
+	}
+	d.SetDeadlineNS(time.Now().Add(-time.Millisecond).UnixNano())
+	if !pool.urgentFor(d, 0) {
+		t.Fatal("expired deadline not urgent (must unwind fastest)")
+	}
+
+	// The service estimate eats into slack: 12ms to deadline minus a
+	// 10ms estimated service leaves 2ms < 5ms.
+	d.SetDeadlineNS(time.Now().Add(12 * time.Millisecond).UnixNano())
+	if pool.urgentFor(d, 0) {
+		t.Fatal("12ms of slack urgent with no service estimate")
+	}
+	rt.SetServiceEstimate(func(level int) int64 { return int64(10 * time.Millisecond) })
+	if !pool.urgentFor(d, 0) {
+		t.Fatal("12ms to deadline minus 10ms estimated service not urgent")
+	}
+	rt.SetServiceEstimate(nil)
+	if pool.urgentFor(d, 0) {
+		t.Fatal("estimator removal did not take effect")
+	}
+}
+
+// TestUrgentDisabledByDefault: without Config.UrgentSlack the urgent
+// queue must not exist — the level's order stays pure FIFO and the
+// stats stay zero.
+func TestUrgentDisabledByDefault(t *testing.T) {
+	rt, err := New(Config{Workers: 1, Levels: 1, Policy: Prompt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pool := rt.pol.(*promptPolicy).pool
+	if pool.levels[0].urgent != nil {
+		t.Fatal("urgent queue allocated without UrgentSlack")
+	}
+	d := rt.newDeque(0)
+	d.SetDeadlineNS(time.Now().Add(-time.Second).UnixNano())
+	if pool.urgentFor(d, 0) {
+		t.Fatal("urgentFor true with the urgent queue disabled")
+	}
+	f := rt.SubmitFutureWithDeadline(0, time.Second, func(task *Task) any { return nil })
+	f.Wait()
+	if enq, pops := rt.UrgentStats(); enq != 0 || pops != 0 {
+		t.Fatalf("urgent stats %d/%d with the queue disabled", enq, pops)
+	}
+}
+
+// TestUrgentOvertakesRegular is the ordering property end-to-end: with
+// the single worker pinned by a hog, a deadline-carrying submission
+// enqueued AFTER a deadline-free one must still run first, because the
+// thief drains the urgent queue before the regular queue.
+func TestUrgentOvertakesRegular(t *testing.T) {
+	rt := urgentRT(t, 1, time.Hour)
+
+	var hogStarted, release atomic.Bool
+	hog := rt.SubmitFuture(0, func(task *Task) any {
+		hogStarted.Store(true)
+		for !release.Load() {
+			task.Yield()
+		}
+		return nil
+	})
+	for !hogStarted.Load() {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	note := func(tag string) {
+		mu.Lock()
+		order = append(order, tag)
+		mu.Unlock()
+	}
+	// Regular first, urgent second — FIFO would run "regular" first.
+	fReg := rt.SubmitFuture(0, func(task *Task) any { note("regular"); return nil })
+	fUrg := rt.SubmitFutureWithDeadline(0, 10*time.Second, func(task *Task) any { note("urgent"); return nil })
+
+	release.Store(true)
+	hog.Wait()
+	fUrg.Wait()
+	fReg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "urgent" || order[1] != "regular" {
+		t.Fatalf("execution order %v, want [urgent regular]", order)
+	}
+	enq, pops := rt.UrgentStats()
+	if enq < 1 || pops < 1 {
+		t.Fatalf("urgent stats enq=%d pops=%d, want >= 1 each", enq, pops)
+	}
+}
+
+// TestUrgentStatsAndDepth: urgent traffic shows up in UrgentStats and
+// the per-level Observe depth folds the urgent queue into the
+// discoverable population.
+func TestUrgentStatsAndDepth(t *testing.T) {
+	rt := urgentRT(t, 1, time.Hour)
+	pool := rt.pol.(*promptPolicy).pool
+
+	var hogStarted, release atomic.Bool
+	hog := rt.SubmitFuture(0, func(task *Task) any {
+		hogStarted.Store(true)
+		for !release.Load() {
+			task.Yield()
+		}
+		return nil
+	})
+	for !hogStarted.Load() {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	const n = 4
+	futs := make([]*Future, 0, n)
+	for i := 0; i < n; i++ {
+		futs = append(futs, rt.SubmitFutureWithDeadline(1, 10*time.Second,
+			func(task *Task) any { return nil }))
+	}
+	if got := pool.urgentDepth(1); got != n {
+		t.Fatalf("urgentDepth = %d with %d queued urgent submissions", got, n)
+	}
+	// depths() folds urgent into the discoverable regular population.
+	if reg, _ := pool.depths(1); reg < n {
+		t.Fatalf("depths regular = %d, want >= %d (urgent folded in)", reg, n)
+	}
+
+	release.Store(true)
+	hog.Wait()
+	for _, f := range futs {
+		f.Wait()
+	}
+	enq, pops := rt.UrgentStats()
+	if enq < n || pops < n {
+		t.Fatalf("urgent stats enq=%d pops=%d, want >= %d each", enq, pops, n)
+	}
+	if got := pool.urgentDepth(1); got != 0 {
+		t.Fatalf("urgentDepth = %d after drain, want 0", got)
+	}
+}
+
+// TestUrgentStolenFrameInheritsDeadline: a frame stolen out of a
+// deadline-carrying deque is adopted onto a fresh deque that must
+// inherit the deadline, so the tree's unfinished children keep their
+// urgency as they spread across workers.
+func TestUrgentStolenFrameInheritsDeadline(t *testing.T) {
+	rt := urgentRT(t, 2, time.Hour)
+	done := make(chan struct{})
+	f := rt.SubmitFutureWithDeadline(0, 10*time.Second, func(task *Task) any {
+		for i := 0; i < 50; i++ {
+			task.Spawn(func(ct *Task) {})
+			task.Sync()
+		}
+		return nil
+	})
+	go func() { f.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline-carrying spawn tree did not finish")
+	}
+	if f.Err() != nil {
+		t.Fatalf("tree failed: %v", f.Err())
+	}
+}
