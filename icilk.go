@@ -124,8 +124,20 @@ var ErrShed = admission.ErrShed
 
 // Config configures a Runtime.
 type Config struct {
-	// Workers is the number of scheduler workers. Default 4.
+	// Workers is the number of scheduler workers. Default 4. For true
+	// multi-core operation run with GOMAXPROCS >= Workers so workers
+	// occupy parallel Ps; the centralized pools shard automatically
+	// (see PoolShards).
 	Workers int
+	// PoolShards is the number of shards each priority level's
+	// centralized pool is split into (Prompt and AdaptiveGreedy).
+	// Zero derives it from Workers: 1 for a single worker, else the
+	// next power of two >= max(Workers, 4); non-zero values round up
+	// to a power of two. PoolShards=1 restores the paper's exact
+	// centralized single-queue layout (the paper-fidelity and
+	// ablation configuration). The promptness bitfield is global and
+	// exact at every shard count.
+	PoolShards int
 	// IOThreads is the number of I/O handling threads. Default 4,
 	// matching the paper's setup.
 	IOThreads int
@@ -188,6 +200,7 @@ type Runtime struct {
 func New(cfg Config) (*Runtime, error) {
 	rt, err := sched.New(sched.Config{
 		Workers:             cfg.Workers,
+		PoolShards:          cfg.PoolShards,
 		Levels:              cfg.Levels,
 		Policy:              cfg.Scheduler,
 		Adaptive:            cfg.Adaptive,

@@ -57,10 +57,12 @@ const (
 	Abandon
 	Enqueue
 	Dequeue
-	Check   // the frequent bitfield/cancellation check (maybeSwitch)
-	Submit  // external submission entering the runtime
-	IO      // I/O pool handoff
-	Predict // service-time predictor read/update ordering (internal/predict)
+	Check       // the frequent bitfield/cancellation check (maybeSwitch)
+	Submit      // external submission entering the runtime
+	IO          // I/O pool handoff
+	Predict     // service-time predictor read/update ordering (internal/predict)
+	ShardSelect // MultiQueue d=2 shard sampling before a relaxed pop (sched central pool)
+	ShardSweep  // all-shard sweep before a thief declares a level empty
 	numPoints
 )
 

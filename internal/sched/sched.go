@@ -128,6 +128,22 @@ type Config struct {
 	// StealTries is how many failed probes an Adaptive worker makes
 	// before napping. Default 4.
 	StealTries int
+	// PoolShards is the number of shards each priority level's
+	// centralized pool is split into (Prompt and AdaptiveGreedy; the
+	// Adaptive variants have per-worker pools and ignore it). Zero
+	// derives the count from Workers: 1 for a single worker, else the
+	// next power of two ≥ max(Workers, 4), capped at 64 — at least one
+	// shard per worker so parallel Ps do not serialize spawns, steals,
+	// and mugs through one FIFO pair, and never exactly two, because
+	// sampling d=2 of 2 shards is all of them (no relaxation, double
+	// probe cost; measured slower than both 1 and 4 shards).
+	// Non-zero values are rounded up to the next power of two.
+	// PoolShards=1 restores the paper's exact centralized layout
+	// (the ablation and paper-fidelity configuration); thieves then
+	// skip the MultiQueue sampling entirely. The promptness bitfield
+	// stays global and exact at every shard count — a level's bit
+	// means "some shard at this level has work".
+	PoolShards int
 	// TraceCapacity, if positive, enables the scheduler event trace
 	// with a ring of that many events.
 	TraceCapacity int
@@ -180,6 +196,22 @@ func (c *Config) applyDefaults() error {
 	if c.StealTries <= 0 {
 		c.StealTries = 4
 	}
+	if c.PoolShards < 0 {
+		return fmt.Errorf("sched: PoolShards must be >= 0, got %d", c.PoolShards)
+	}
+	if c.PoolShards == 0 {
+		if c.Workers == 1 {
+			c.PoolShards = 1
+		} else if c.Workers < 4 {
+			c.PoolShards = 4
+		} else {
+			c.PoolShards = c.Workers
+		}
+	}
+	c.PoolShards = nextPow2(c.PoolShards)
+	if c.PoolShards > maxPoolShards {
+		c.PoolShards = maxPoolShards
+	}
 	if v := os.Getenv("ICILK_NORECYCLE"); v != "" && v != "0" {
 		c.DisableRecycling = true
 	}
@@ -187,6 +219,20 @@ func (c *Config) applyDefaults() error {
 		c.RecycleCap = 256
 	}
 	return nil
+}
+
+// maxPoolShards bounds the sharded pool's fan-out: beyond 64 shards
+// the sweep cost of an exact empty(level) probe outweighs any
+// contention relief on machines this code targets.
+const maxPoolShards = 64
+
+// nextPow2 returns the smallest power of two >= n (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // paddedInt64 is an atomic counter alone on its cache line, so
@@ -354,6 +400,19 @@ func (rt *Runtime) serviceEstimate(level int) int64 {
 // unless Config.UrgentSlack is enabled).
 func (rt *Runtime) UrgentStats() (enqueues, pops int64) {
 	return rt.urgentEnqs.Load(), rt.urgentPops.Load()
+}
+
+// ShardStats reports the centralized pool's shard layout and relaxed-
+// selection counters: the shard count per level, the number of
+// sampled shards that held nothing runnable, and the number of
+// full-sweep fallbacks that kept empty(level) exact. All zero for the
+// per-worker-pool Adaptive variants (which have no central shards).
+func (rt *Runtime) ShardStats() (shards int, sampleMisses, sweeps int64) {
+	if so, ok := rt.pol.(shardObserver); ok {
+		misses, sw := so.sampleStats()
+		return so.shardCount(), misses, sw
+	}
+	return 0, 0, 0
 }
 
 // NonEmptyDeques returns the instantaneous count of deques holding

@@ -66,7 +66,7 @@ func TestUrgentDisabledByDefault(t *testing.T) {
 	}
 	defer rt.Close()
 	pool := rt.pol.(*promptPolicy).pool
-	if pool.levels[0].urgent != nil {
+	if pool.levels[0].shards[0].urgent != nil {
 		t.Fatal("urgent queue allocated without UrgentSlack")
 	}
 	d := rt.newDeque(0)

@@ -33,8 +33,17 @@ type AdminServer = admin.Server
 func (r *Runtime) Metrics() *MetricsRegistry { return r.metrics }
 
 // Snapshot captures the scheduler's observable state: bitfield,
-// per-level pool depths, per-worker levels and waste clocks.
+// per-level pool depths (with per-shard breakdown for the sharded
+// centralized pools), per-worker levels and waste clocks.
 func (r *Runtime) Snapshot() SchedSnapshot { return r.rt.Snapshot() }
+
+// ShardStats reports the centralized pool's shard count per level and
+// the MultiQueue relaxed-selection counters (sampled-shard misses and
+// exactness-preserving full sweeps). Shards is 0 for the Adaptive
+// per-worker-pool schedulers.
+func (r *Runtime) ShardStats() (shards int, sampleMisses, sweeps int64) {
+	return r.rt.ShardStats()
+}
 
 // NewAdminServer creates an unbound admin server with no runtime
 // attached. Most callers want ServeAdmin instead; the two-step form
