@@ -1,0 +1,296 @@
+// cluster-bench measures the sharded Memcached topology
+// (internal/cluster) across shard counts, with hot-key replication on
+// and off, under a zipfian key mix with pipelined multi-gets and
+// connection churn. For each cell {shards, replicate-hot} it runs:
+//
+//  1. a saturation pass — shard-aware clients (each connection
+//     affined to the shard owning its keys) in closed loop with a
+//     deep pipeline; achieved throughput is the cell's saturation
+//     RPS;
+//  2. a paced pass at a fraction of that rate — clients dial
+//     round-robin so the frontend routes every request, multi-gets
+//     scatter across all shards; its p99 is the cell's latency
+//     figure.
+//
+// Connections retire after -reqs-per-conn requests and redial, so a
+// full run opens well over 100k connections in aggregate (reported
+// per cell as "dials"). With -label/-o the measurement is appended to
+// a JSON trajectory file (BENCH_cluster.json).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"icilk"
+	"icilk/internal/cluster"
+	"icilk/internal/memcached"
+	"icilk/internal/netsim"
+	"icilk/internal/workload"
+)
+
+func main() {
+	shardList := flag.String("shards", "1,2,4,8", "comma-separated shard counts")
+	keys := flag.Int("keys", 1_000_000, "distinct keys to preload")
+	conns := flag.Int("conns", 64, "concurrent client connections")
+	reqsPerConn := flag.Int("reqs-per-conn", 24, "requests per connection before redialing (connection churn)")
+	dur := flag.Duration("dur", 2*time.Second, "measurement window per pass")
+	valueSize := flag.Int("value", 64, "value size in bytes")
+	mgetFrac := flag.Float64("mget", 0.2, "fraction of reads issued as multi-key GETs (paced pass)")
+	mgetKeys := flag.Int("mget-keys", 8, "keys per multi-get")
+	zipfS := flag.Float64("zipf", 1.1, "zipfian key-popularity exponent")
+	pipeline := flag.Int("pipeline", 16, "in-flight requests per connection (saturation pass)")
+	workers := flag.Int("workers", 2, "scheduler workers per shard")
+	pacedFrac := flag.Float64("paced", 0.5, "paced-pass rate as a fraction of the cell's saturation RPS")
+	reps := flag.Int("reps", 3, "repetitions per cell (median by paced p99 reported; dials summed)")
+	seed := flag.Uint64("seed", 0xc1a5, "workload seed")
+	label := flag.String("label", "", "JSON trajectory entry label")
+	out := flag.String("o", "", "JSON trajectory file to append to (stdout table only if empty)")
+	quick := flag.Bool("quick", false, "smoke run: tiny keyspace, short windows, shard list 1,2")
+	flag.Parse()
+
+	if *quick {
+		*keys = 20_000
+		*dur = 400 * time.Millisecond
+		*conns = 16
+		*reqsPerConn = 16
+		*reps = 1
+		setIfDefault("shards", func() { *shardList = "1,2" })
+	}
+
+	var shardCounts []int
+	for _, s := range strings.Split(*shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -shards %q\n", s)
+			os.Exit(2)
+		}
+		shardCounts = append(shardCounts, n)
+	}
+
+	entry := clusterEntry{
+		Label: *label,
+		Date:  time.Now().UTC().Format("2006-01-02"),
+		Config: fmt.Sprintf("keys=%d conns=%d reqs/conn=%d dur=%s value=%dB mget=%.2f×%d zipf=%.2f pipeline=%d workers/shard=%d paced=%.2f seed=%#x",
+			*keys, *conns, *reqsPerConn, *dur, *valueSize, *mgetFrac, *mgetKeys, *zipfS, *pipeline, *workers, *pacedFrac, *seed) + fmt.Sprintf(" reps=%d gomaxprocs=%d", *reps, runtime.GOMAXPROCS(0)),
+	}
+
+	fmt.Println("# cluster saturation + p99 across shard counts, hot-key replication off/on")
+	fmt.Printf("%7s %5s %14s %12s %10s %10s %8s %8s %9s\n",
+		"shards", "hot", "saturation", "paced RPS", "p50", "p99", "dials", "mgets", "promoted")
+	var totalDials int64
+	for _, sc := range shardCounts {
+		for _, hot := range []bool{false, true} {
+			cell := runCell(cellConfig{
+				shards: sc, hot: hot,
+				keys: *keys, conns: *conns, reqsPerConn: *reqsPerConn,
+				dur: *dur, valueSize: *valueSize,
+				mgetFrac: *mgetFrac, mgetKeys: *mgetKeys, zipfS: *zipfS,
+				pipeline: *pipeline, workers: *workers, pacedFrac: *pacedFrac,
+				reps: *reps, seed: *seed,
+			})
+			totalDials += cell.Dials
+			entry.Cells = append(entry.Cells, cell)
+			fmt.Printf("%7d %5v %11.0f/s %9.0f/s %9.1fµs %9.1fµs %8d %8d %9d\n",
+				sc, hot, cell.SaturationRPS, cell.PacedRPS, cell.P50Us, cell.P99Us,
+				cell.Dials, cell.MultiGets, cell.Promoted)
+		}
+	}
+	fmt.Printf("# aggregate connections opened: %d\n", totalDials)
+
+	if *out != "" {
+		if err := appendEntry(*out, entry); err != nil {
+			fmt.Fprintln(os.Stderr, "write trajectory:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# appended %q to %s\n", entry.Label, *out)
+	}
+}
+
+func setIfDefault(name string, apply func()) {
+	set := false
+	flag.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+	if !set {
+		apply()
+	}
+}
+
+type cellConfig struct {
+	shards, keys, conns, reqsPerConn int
+	dur                              time.Duration
+	valueSize, mgetKeys              int
+	mgetFrac, zipfS, pacedFrac       float64
+	pipeline, workers, reps          int
+	hot                              bool
+	seed                             uint64
+}
+
+// clusterCell is one {shards, replicate-hot} measurement.
+type clusterCell struct {
+	Shards        int     `json:"shards"`
+	ReplicateHot  bool    `json:"replicate_hot"`
+	SaturationRPS float64 `json:"saturation_rps"`
+	PacedRPS      float64 `json:"paced_rps"`
+	P50Us         float64 `json:"p50_us"`
+	P99Us         float64 `json:"p99_us"`
+	Dials         int64   `json:"dials"`
+	MultiGets     int64   `json:"multigets"`
+	Shed          int64   `json:"shed"`
+	Completed     int64   `json:"completed"`
+	Promoted      int     `json:"promoted"`
+}
+
+func runCell(cc cellConfig) clusterCell {
+	cl, err := cluster.New(cluster.Config{
+		Shards:       cc.shards,
+		Runtime:      icilk.Config{Workers: cc.workers, Levels: 2, Scheduler: icilk.Prompt},
+		Store:        memcached.StoreConfig{MaxBytes: 0},
+		ReplicateHot: cc.hot,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	// Preload the full keyspace directly into the owning stores.
+	val := make([]byte, cc.valueSize)
+	for i := range val {
+		val[i] = 'a' + byte(i)%26
+	}
+	var kb []byte
+	for i := 0; i < cc.keys; i++ {
+		kb = appendKey(kb[:0], uint64(i))
+		cl.PreloadSet(kb, val, 0)
+	}
+
+	dial := func(shard int) (*netsim.Endpoint, error) {
+		cli, srv := netsim.Pipe()
+		if shard >= 0 {
+			cl.HandleConnOn(shard, srv)
+		} else {
+			cl.HandleConn(srv)
+		}
+		return cli, nil
+	}
+	ring := cl.Ring()
+	runtime.GC() // preload garbage, not the measurement's
+
+	// Untimed warm pass: page in the stores, spin up the runtimes, and
+	// let the sketch/promotion settle before anything is measured.
+	workload.RunClusterLoad(workload.ClusterLoadConfig{
+		Conns: cc.conns, Duration: cc.dur / 2, Pipeline: cc.pipeline,
+		KeySpace: cc.keys, ValueSize: cc.valueSize, GetFraction: 0.9,
+		ZipfS: cc.zipfS, Seed: cc.seed + 2, Dial: dial,
+	})
+	runtime.GC()
+
+	// One-core tails are dominated by rare stalls (GC, OS scheduling),
+	// so each cell runs reps times and reports the median rep by paced
+	// p99; dials accumulate across reps (every connection opened
+	// counts toward the churn figure).
+	reps := cc.reps
+	if reps <= 0 {
+		reps = 1
+	}
+	var cells []clusterCell
+	var totalDials int64
+	for rep := 0; rep < reps; rep++ {
+		seed := cc.seed + uint64(rep)*0x1000
+
+		// Pass 1: shard-aware closed loop → saturation RPS.
+		runtime.GC()
+		sat := workload.RunClusterLoad(workload.ClusterLoadConfig{
+			Conns: cc.conns, ReqsPerConn: cc.reqsPerConn, Duration: cc.dur,
+			Pipeline: cc.pipeline, KeySpace: cc.keys, ValueSize: cc.valueSize,
+			GetFraction: 0.9, ZipfS: cc.zipfS, Seed: seed,
+			Warmup: cc.dur / 4, Dial: dial,
+			Owner: func(k []byte) int { return ring.Owner(k) }, Shards: cc.shards,
+		})
+
+		// Pass 2: paced at a fraction of saturation, round-robin receive
+		// (the frontend routes everything), multi-gets scattering across
+		// shards → the latency figure. The saturation pass measured
+		// single-key throughput, so discount the paced rate by the mix's
+		// keys-per-request weight (a multi-get is one request but
+		// mgetKeys keys of work).
+		keyWeight := (1 - 0.9) + 0.9*((1-cc.mgetFrac)+cc.mgetFrac*float64(cc.mgetKeys))
+		runtime.GC()
+		paced := workload.RunClusterLoad(workload.ClusterLoadConfig{
+			Conns: cc.conns, ReqsPerConn: cc.reqsPerConn, Duration: cc.dur,
+			RPS: cc.pacedFrac * sat.AchievedRPS() / keyWeight, Pipeline: cc.pipeline,
+			KeySpace: cc.keys, ValueSize: cc.valueSize,
+			GetFraction: 0.9, MultiGetFraction: cc.mgetFrac, MultiGetKeys: cc.mgetKeys,
+			ZipfS: cc.zipfS, Seed: seed + 1,
+			Warmup: cc.dur / 4, Dial: dial,
+		})
+
+		totalDials += sat.Dials + paced.Dials
+		cells = append(cells, clusterCell{
+			Shards:        cc.shards,
+			ReplicateHot:  cc.hot,
+			SaturationRPS: sat.AchievedRPS(),
+			PacedRPS:      paced.AchievedRPS(),
+			P50Us:         float64(paced.Latency.Percentile(50)) / float64(time.Microsecond),
+			P99Us:         float64(paced.Latency.Percentile(99)) / float64(time.Microsecond),
+			Dials:         sat.Dials + paced.Dials,
+			MultiGets:     paced.MultiGets,
+			Shed:          sat.Shed + paced.Shed,
+			Completed:     sat.Completed + paced.Completed,
+			Promoted:      len(cl.PromotedKeys()),
+		})
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].P99Us < cells[j].P99Us })
+	cell := cells[(len(cells)-1)/2]
+	cell.Dials = totalDials
+	return cell
+}
+
+func appendKey(dst []byte, i uint64) []byte {
+	dst = append(dst, "key:"...)
+	var tmp [20]byte
+	s := strconv.AppendUint(tmp[:0], i, 10)
+	for pad := 8 - len(s); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	return append(dst, s...)
+}
+
+// clusterEntry is one bench invocation in the committed trajectory
+// (BENCH_cluster.json): newest entry last.
+type clusterEntry struct {
+	Label  string        `json:"label"`
+	Date   string        `json:"date"`
+	Config string        `json:"config"`
+	Cells  []clusterCell `json:"cells"`
+}
+
+type clusterFile struct {
+	Comment string         `json:"_comment"`
+	Entries []clusterEntry `json:"entries"`
+}
+
+const clusterComment = "Cluster topology trajectory (saturation RPS + paced p99 per {shard count, hot-key replication}); append entries with: go run ./cmd/cluster-bench -label <change> -o BENCH_cluster.json"
+
+func appendEntry(path string, entry clusterEntry) error {
+	var file clusterFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	}
+	file.Comment = clusterComment
+	file.Entries = append(file.Entries, entry)
+	raw, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

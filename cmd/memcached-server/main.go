@@ -8,6 +8,13 @@
 // Flags select the scheduler, so the same binary serves as a live
 // playground for comparing Prompt I-Cilk against the Adaptive
 // variants under real client load.
+//
+// With -shards N (N > 1) the binary runs the cluster topology
+// instead: N in-process runtime shards behind consistent-hash
+// routing, multi-key GETs fanned out as per-shard subtasks, and —
+// with -replicate-hot — frequency-sketch detection of hot keys
+// promoted to replicated read-any/write-all. The cluster frontend
+// speaks the text protocol only.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"time"
 
 	"icilk"
+	"icilk/internal/cluster"
 	"icilk/internal/memcached"
 	"icilk/internal/netreal"
 	"icilk/internal/stats"
@@ -27,10 +35,13 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:11211", "listen address (host:port)")
 	network := flag.String("net", "tcp", "network (tcp, unix)")
-	workers := flag.Int("workers", 4, "scheduler workers")
+	workers := flag.Int("workers", 4, "scheduler workers (per shard in cluster mode)")
 	schedName := flag.String("scheduler", "prompt", icilk.SchedulerNames())
-	maxBytes := flag.Int64("max-bytes", 64<<20, "cache size bound (0 = unbounded)")
-	admin := flag.String("admin", "", "admin HTTP address (bind loopback, e.g. 127.0.0.1:6060; unauthenticated) serving /metrics, /debug/sched, /debug/trace")
+	maxBytes := flag.Int64("max-bytes", 64<<20, "cache size bound per shard (0 = unbounded)")
+	adminAddr := flag.String("admin", "", "admin HTTP address (bind loopback, e.g. 127.0.0.1:6060; unauthenticated) serving /metrics, /debug/sched, /debug/trace, /debug/cluster")
+	shards := flag.Int("shards", 1, "runtime shards; >1 enables the cluster topology (consistent-hash routing, fanned-out multi-gets)")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring (cluster mode)")
+	replicateHot := flag.Bool("replicate-hot", false, "detect hot keys by frequency sketch and replicate them read-any/write-all (cluster mode)")
 	flag.Parse()
 
 	kind, err := icilk.ParseScheduler(*schedName)
@@ -38,8 +49,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	rtCfg := icilk.Config{Workers: *workers, Levels: 2, Scheduler: kind}
 
-	rt, err := icilk.New(icilk.Config{Workers: *workers, Levels: 2, Scheduler: kind})
+	if *shards > 1 {
+		runCluster(rtCfg, *listen, *network, *adminAddr, *shards, *vnodes, *replicateHot, *maxBytes)
+		return
+	}
+
+	rt, err := icilk.New(rtCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "runtime:", err)
 		os.Exit(1)
@@ -50,9 +67,9 @@ func main() {
 		ServiceHistogram: hist,
 		Metrics:          rt.Metrics(),
 	})
-	if *admin != "" {
+	if *adminAddr != "" {
 		netreal.DefaultStats.RegisterMetrics(rt.Metrics())
-		adm, err := rt.ServeAdmin(*admin)
+		adm, err := rt.ServeAdmin(*adminAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "admin:", err)
 			os.Exit(1)
@@ -96,6 +113,67 @@ func main() {
 			fmt.Printf("conns=%d items=%d hits=%d misses=%d service{%v}\n",
 				srv.ActiveConns(), store.Len(),
 				store.Stats.GetHits.Load(), store.Stats.GetMisses.Load(), hist)
+		}
+	}
+}
+
+// runCluster is the -shards>1 serving path: the cluster topology on a
+// real socket.
+func runCluster(rtCfg icilk.Config, listen, network, adminAddr string, shards, vnodes int, replicateHot bool, maxBytes int64) {
+	cl, err := cluster.New(cluster.Config{
+		Shards:       shards,
+		VNodes:       vnodes,
+		Runtime:      rtCfg,
+		Store:        memcached.StoreConfig{MaxBytes: maxBytes},
+		ReplicateHot: replicateHot,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+	if adminAddr != "" {
+		netreal.DefaultStats.RegisterMetrics(cl.Shard(0).Runtime().Metrics())
+		adm := icilk.NewAdminServer()
+		cl.AttachAdmin(adm)
+		if err := adm.Start(adminAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "admin:", err)
+			os.Exit(1)
+		}
+		defer adm.Close()
+		fmt.Printf("admin endpoint on http://%s (/metrics, /debug/sched, /debug/cluster)\n", adm.Addr())
+	}
+	nl, err := net.Listen(network, listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("memcached cluster (%d shards × %d workers, %s scheduler, replicate-hot=%v) listening on %s\n",
+		shards, rtCfg.Workers, rtCfg.Scheduler, replicateHot, nl.Addr())
+	go func() {
+		for {
+			nc, err := nl.Accept()
+			if err != nil {
+				return
+			}
+			cl.HandleConn(netreal.Wrap(nc))
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\nshutting down")
+			nl.Close()
+			cl.Close()
+			return
+		case <-ticker.C:
+			snap := cl.Snapshot()
+			fmt.Printf("epoch=%d conns=%d items=%d hot=%d\n",
+				snap.Epoch, snap.Conns, cl.TotalItems(), len(snap.Promoted))
 		}
 	}
 }

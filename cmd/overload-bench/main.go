@@ -32,6 +32,7 @@ import (
 	"icilk/internal/jobserver"
 	"icilk/internal/predict"
 	"icilk/internal/workload"
+	"icilk/internal/xrand"
 )
 
 // ClassResult is one request class's outcome at one load point.
@@ -314,7 +315,7 @@ func main() {
 			QueueCap: *queueCap,
 			Timeout:  *deadline,
 		}
-		for _, mult := range mults {
+		for multIndex, mult := range mults {
 			rps := *kneeRPS * mult
 			cfg := workload.OpenLoopConfig{
 				RPS:        rps,
@@ -322,8 +323,14 @@ func main() {
 				Warmup:     *warmup,
 				Mix:        make([]float64, len(a.names)),
 				ClassNames: a.names,
-				Seed:       *seed,
-				Spread:     a.spread,
+				// Each load point draws a distinct deterministic arrival
+				// schedule, but policy rows at the same multiplier see an
+				// identical one (the mix is outside this loop), so
+				// cross-policy deltas in the smoke comparison are never
+				// sampling noise from a shared-seed schedule reused at a
+				// different rate.
+				Seed:   xrand.Mix(*seed, uint64(multIndex+1)),
+				Spread: a.spread,
 			}
 			for i := range cfg.Mix {
 				cfg.Mix[i] = 1

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"icilk"
+	"icilk/internal/invariant"
+	"icilk/internal/netsim"
+)
+
+// Multi-get fan-out allocation gate. The fan-out path cannot be
+// zero-alloc — each remote shard costs a FutCreate subtask, a Submit
+// onto the owner runtime, and an I/O future for the join — but it
+// must be *bounded*: a fixed budget per remote-shard subtask plus a
+// fixed per-request overhead, independent of key count. The slots,
+// reply scratch, and per-slot VALUE buffers are all pooled, so keys
+// beyond the first on a shard must be free.
+const (
+	allocsPerSubtask = 18 // FutCreate + cross-runtime Submit + I/O future join
+	allocsPerRequest = 12 // parse/reply/readline overhead at steady state
+)
+
+// TestMultiGetFanoutAllocBounded measures a steady-state 12-key
+// multi-get spanning all 4 shards (3 remote subtasks from the
+// receiving shard's view) through the full server loop, client round
+// trip included.
+func TestMultiGetFanoutAllocBounded(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("icilk_debug assertion builds trade allocations for checks")
+	}
+	defer watchdog(t, 60*time.Second)()
+	cl := newTestCluster(t, 4, nil)
+	c := dialCluster(t, cl)
+	const nkeys = 12
+	var req strings.Builder
+	req.WriteString("get")
+	for i := 0; i < nkeys; i++ {
+		key := fmt.Sprintf("ak%02d", i)
+		if got := c.roundTrip(fmt.Sprintf("set %s 0 0 4\r\nv%03d\r\n", key, i)); got != "STORED\n" {
+			t.Fatalf("set %s: %q", key, got)
+		}
+		req.WriteString(" ")
+		req.WriteString(key)
+	}
+	req.WriteString("\r\n")
+	line := req.String()
+
+	// Count the remote subtasks this request actually fans out to.
+	ring := cl.Ring()
+	owners := map[int]bool{}
+	for i := 0; i < nkeys; i++ {
+		owners[ring.Owner([]byte(fmt.Sprintf("ak%02d", i)))] = true
+	}
+	subtasks := len(owners) - 1 // one of them is the receiving shard (worst case assumption)
+	if subtasks < 1 {
+		t.Skip("all keys landed on one shard; ring layout gives the test no fan-out")
+	}
+
+	// Warm the pools (connState, slot buffers, futures) before gating.
+	for i := 0; i < 50; i++ {
+		c.roundTrip(line)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		reply := c.roundTrip(line)
+		if strings.Count(reply, "VALUE ") != nkeys {
+			t.Fatalf("bad reply: %q", reply)
+		}
+	})
+	budget := float64(allocsPerRequest + subtasks*allocsPerSubtask)
+	t.Logf("multi-get fan-out: %.1f allocs/op across %d remote subtasks (budget %.0f)", allocs, subtasks, budget)
+	if allocs > budget {
+		t.Errorf("multi-get fan-out: %.1f allocs/op over %d subtasks, budget %.0f (%d/subtask + %d/request)",
+			allocs, subtasks, budget, allocsPerSubtask, allocsPerRequest)
+	}
+}
+
+// TestSingleKeyGetAllocBounded: the dominant single-key remote-hop
+// shape stays within a small fixed budget (no fan-out subtask at all
+// — the parent bridges directly).
+func TestSingleKeyGetAllocBounded(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("icilk_debug assertion builds trade allocations for checks")
+	}
+	defer watchdog(t, 60*time.Second)()
+	cl := newTestCluster(t, 4, nil)
+	c := dialCluster(t, cl)
+	if got := c.roundTrip("set skey 0 0 4\r\nsval\r\n"); got != "STORED\n" {
+		t.Fatalf("set: %q", got)
+	}
+	for i := 0; i < 50; i++ {
+		c.roundTrip("get skey\r\n")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		reply := c.roundTrip("get skey\r\n")
+		if !strings.Contains(reply, "sval") {
+			t.Fatalf("bad reply: %q", reply)
+		}
+	})
+	budget := float64(allocsPerRequest + allocsPerSubtask)
+	t.Logf("single-key get: %.1f allocs/op (budget %.0f)", allocs, budget)
+	if allocs > budget {
+		t.Errorf("single-key get: %.1f allocs/op, budget %.0f", allocs, budget)
+	}
+}
+
+// BenchmarkClusterMultiGet reports the fan-out data path cost.
+func BenchmarkClusterMultiGet(b *testing.B) {
+	cl, err := New(Config{Shards: 4, VNodes: 16, Runtime: icilk.Config{Workers: 1, Levels: 2}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	var keys []string
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("bk%02d", i)
+		cl.PreloadSet([]byte(key), []byte("benchval"), 0)
+		keys = append(keys, key)
+	}
+	line := "get " + strings.Join(keys, " ") + "\r\n"
+	cli, srv := netsim.Pipe()
+	cl.HandleConn(srv)
+	defer cli.Close()
+	var buf [4096]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.WriteString(line); err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for !strings.Contains(string(buf[:total]), "END\r\n") {
+			n, err := cli.Read(buf[total:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += n
+		}
+	}
+}

@@ -1,0 +1,162 @@
+//go:build icilk_debug
+
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"icilk/internal/invariant/perturb"
+)
+
+// Seeded schedule perturbation for the cluster layer: the fan-out and
+// drain protocols have the same instruction-wide windows as the core
+// scheduler (between the ring swap and the old-epoch quiesce, between
+// a route decision and the hop it chose), and this suite stretches
+// them under the icilk_debug invariant assertions. RouteSelect fires
+// before every routing decision and inside every fan-out subtask;
+// DrainHandoff fires at each step of the swap-quiesce-migrate
+// sequence.
+
+var clusterPerturbSeeds = []uint64{0x1, 0xdecade, 0xfeedbeef}
+
+// TestPerturbClusterFanout drives mixed single-key and multi-key
+// traffic across 4 shards under perturbation: every reply must stay
+// well-formed and every multi-get must return its keys in request
+// order.
+func TestPerturbClusterFanout(t *testing.T) {
+	for _, seed := range perturb.Seeds(clusterPerturbSeeds) {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			defer watchdog(t, 2*time.Minute)()
+			cl := newTestCluster(t, 4, nil)
+			// Preload outside the perturbation window.
+			keys := make([]string, 24)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("fk%02d", i)
+				cl.PreloadSet([]byte(keys[i]), []byte(fmt.Sprintf("fval%02d", i)), 0)
+			}
+			perturb.Enable(seed)
+			defer perturb.Disable()
+
+			var wg sync.WaitGroup
+			for g := 0; g < 3; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c := dialCluster(t, cl)
+					for iter := 0; iter < 60; iter++ {
+						switch iter % 3 {
+						case 0: // wide multi-get, reversed order
+							var req strings.Builder
+							req.WriteString("get")
+							for i := len(keys) - 1; i >= 0; i -= 2 {
+								req.WriteString(" ")
+								req.WriteString(keys[(i+g)%len(keys)])
+							}
+							req.WriteString("\r\n")
+							reply := c.roundTrip(req.String())
+							if n := strings.Count(reply, "VALUE "); n != len(keys)/2 {
+								t.Errorf("seed %#x: multi-get returned %d VALUEs, want %d: %q",
+									perturb.Seed(), n, len(keys)/2, reply)
+								return
+							}
+						case 1: // single-key get (hop or local)
+							k := keys[(iter+g)%len(keys)]
+							reply := c.roundTrip("get " + k + "\r\n")
+							// Writers rewrite keys to nvalXX concurrently; any
+							// well-formed hit is correct.
+							if !strings.HasPrefix(reply, "VALUE "+k+" 0 6\n") || !strings.HasSuffix(reply, "END\n") {
+								t.Errorf("seed %#x: get %s: %q", perturb.Seed(), k, reply)
+								return
+							}
+						default: // routed write
+							k := keys[(iter*7+g)%len(keys)]
+							reply := c.roundTrip(fmt.Sprintf("set %s 0 0 6\r\nnval%02d\r\n", k, iter%100))
+							if reply != "STORED\n" {
+								t.Errorf("seed %#x: set %s: %q", perturb.Seed(), k, reply)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestPerturbClusterDrain runs the drain/restore cycle against live
+// writers under perturbation — the DrainHandoff points sit inside the
+// swap-quiesce-migrate window, so the epoch gate and the read
+// fallback get hit mid-transition. Every acknowledged write must
+// remain readable.
+func TestPerturbClusterDrain(t *testing.T) {
+	for _, seed := range perturb.Seeds(clusterPerturbSeeds) {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			defer watchdog(t, 2*time.Minute)()
+			cl := newTestCluster(t, 3, nil)
+			perturb.Enable(seed)
+			defer perturb.Disable()
+
+			var mu sync.Mutex
+			acked := make(map[string]string)
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c := dialCluster(t, cl)
+					for seq := 0; ; seq++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						key := fmt.Sprintf("d%d:%03d", w, seq%100)
+						val := fmt.Sprintf("p%d.%05d", w, seq)
+						if c.roundTrip(fmt.Sprintf("set %s 0 0 %d\r\n%s\r\n", key, len(val), val)) == "STORED\n" {
+							mu.Lock()
+							acked[key] = val
+							mu.Unlock()
+						}
+					}
+				}()
+			}
+
+			for cycle := 0; cycle < 2; cycle++ {
+				for _, id := range []int{1, 2} {
+					time.Sleep(10 * time.Millisecond)
+					if err := cl.Drain(id); err != nil {
+						t.Errorf("seed %#x: drain %d: %v", perturb.Seed(), id, err)
+					}
+					time.Sleep(10 * time.Millisecond)
+					if err := cl.Restore(id); err != nil {
+						t.Errorf("seed %#x: restore %d: %v", perturb.Seed(), id, err)
+					}
+				}
+			}
+			close(stop)
+			wg.Wait()
+			perturb.Disable() // verification reads run unperturbed
+
+			if len(acked) == 0 {
+				t.Fatal("no writes acknowledged — test has no teeth")
+			}
+			c := dialCluster(t, cl)
+			for key, val := range acked {
+				reply := c.roundTrip("get " + key + "\r\n")
+				want := fmt.Sprintf("VALUE %s 0 %d\n%s\nEND\n", key, len(val), val)
+				if reply != want {
+					t.Errorf("seed %#x: key %s lost across perturbed drain: got %q, want %q",
+						perturb.Seed(), key, reply, want)
+				}
+			}
+		})
+	}
+}

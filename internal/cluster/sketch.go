@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// sketch is a lightweight count-min frequency sketch over recent GET
+// keys — the hot-key detector. The read path touches it once per key:
+// one 64-bit hash split into row indices, one atomic increment per
+// row, and a min across the incremented cells as the key's frequency
+// estimate (an over-estimate, never under). Counters decay by halving
+// every decayEvery observations so "hot" means hot *recently*, not
+// hot since boot.
+//
+// Keys whose estimate crosses the candidate threshold are offered to
+// a small bounded candidate table (the only mutex on the path, taken
+// at most once per threshold crossing per decay window); the promoter
+// ranks candidates by their current estimate and replicates the top
+// k. Everything is sized so the steady-state GET path performs no
+// allocation.
+type sketch struct {
+	mask uint64 // width-1, width a power of two
+	rows [sketchRows][]atomic.Uint32
+
+	obs        atomic.Uint64 // observations since last decay
+	decayEvery uint64
+	decaying   atomic.Bool // single decayer at a time
+	decays     atomic.Int64
+
+	threshold uint32 // candidate threshold
+
+	// candidates: bounded key → last estimate table, copy-on-insert
+	// cost paid only by threshold crossers.
+	cmu   sync.Mutex
+	cand  map[string]uint32
+	cmax  int
+	drops atomic.Int64 // candidate offers dropped because the table was full
+}
+
+const sketchRows = 4
+
+// newSketch sizes the sketch; width rounds up to a power of two.
+func newSketch(width int, threshold uint32, decayEvery uint64, maxCandidates int) *sketch {
+	w := 1
+	for w < width {
+		w <<= 1
+	}
+	s := &sketch{
+		mask:       uint64(w - 1),
+		decayEvery: decayEvery,
+		threshold:  threshold,
+		cand:       make(map[string]uint32, maxCandidates),
+		cmax:       maxCandidates,
+	}
+	for r := range s.rows {
+		s.rows[r] = make([]atomic.Uint32, w)
+	}
+	return s
+}
+
+// observe counts one occurrence of key and returns its (post-update)
+// frequency estimate. Allocation-free; the caller decides whether the
+// estimate crosses the candidate threshold (offer copies the key,
+// which is why it is a separate, rarely-taken step).
+func (s *sketch) observe(key []byte) uint32 {
+	h := FNV1a64(key)
+	// Derive per-row indices from one hash (h1 + r*h2 double hashing).
+	h2 := (h >> 32) | 1
+	est := ^uint32(0)
+	for r := 0; r < sketchRows; r++ {
+		idx := (h + uint64(r)*h2) & s.mask
+		v := s.rows[r][idx].Add(1)
+		if v < est {
+			est = v
+		}
+	}
+	if s.obs.Add(1) >= s.decayEvery {
+		s.maybeDecay()
+	}
+	return est
+}
+
+// estimate returns key's current frequency estimate without counting
+// an observation.
+func (s *sketch) estimate(key []byte) uint32 {
+	h := FNV1a64(key)
+	h2 := (h >> 32) | 1
+	est := ^uint32(0)
+	for r := 0; r < sketchRows; r++ {
+		idx := (h + uint64(r)*h2) & s.mask
+		if v := s.rows[r][idx].Load(); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// maybeDecay halves every counter once per decay window; a single
+// claimant does the sweep while concurrent observers carry on.
+func (s *sketch) maybeDecay() {
+	if !s.decaying.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.decaying.Store(false)
+	if s.obs.Load() < s.decayEvery {
+		return // raced with a finished decayer
+	}
+	s.obs.Store(0)
+	for r := range s.rows {
+		row := s.rows[r]
+		for i := range row {
+			for {
+				v := row[i].Load()
+				if v == 0 || row[i].CompareAndSwap(v, v/2) {
+					break
+				}
+			}
+		}
+	}
+	// Candidate estimates decay with the counters they came from.
+	s.cmu.Lock()
+	for k, v := range s.cand {
+		if v /= 2; v < s.threshold {
+			delete(s.cand, k)
+		} else {
+			s.cand[k] = v
+		}
+	}
+	s.cmu.Unlock()
+	s.decays.Add(1)
+}
+
+// offer records key (copied) as a hot-key candidate with the given
+// estimate. Called only when an observe crossed the threshold, so the
+// mutex and the key copy stay off the common path.
+func (s *sketch) offer(key []byte, est uint32) {
+	s.cmu.Lock()
+	if _, ok := s.cand[string(key)]; !ok && len(s.cand) >= s.cmax {
+		s.cmu.Unlock()
+		s.drops.Add(1)
+		return
+	}
+	s.cand[string(key)] = est
+	s.cmu.Unlock()
+}
+
+// topK returns the k hottest candidate keys by current sketch
+// estimate, hottest first. Called by the promoter at its cadence, not
+// on the request path.
+func (s *sketch) topK(k int) []hotCandidate {
+	s.cmu.Lock()
+	out := make([]hotCandidate, 0, len(s.cand))
+	for key := range s.cand {
+		// Re-estimate from the sketch so ranking reflects decay and
+		// traffic since the offer.
+		est := s.estimate([]byte(key))
+		s.cand[key] = est
+		out = append(out, hotCandidate{key: key, est: est})
+	}
+	s.cmu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].est != out[j].est {
+			return out[i].est > out[j].est
+		}
+		return out[i].key < out[j].key
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// hotCandidate is one ranked hot-key candidate.
+type hotCandidate struct {
+	key string
+	est uint32
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSketchHotKeyRises: a key observed far more often than the rest
+// estimates far higher, and lands in topK.
+func TestSketchHotKeyRises(t *testing.T) {
+	s := newSketch(1024, 16, 1<<20, 32)
+	hot := []byte("hot-key")
+	for i := 0; i < 64; i++ {
+		if est := s.observe(hot); est > 0 && est >= 16 {
+			s.offer(hot, est)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		s.observe([]byte(fmt.Sprintf("cold-%d", i)))
+	}
+	if est := s.estimate(hot); est < 16 {
+		t.Fatalf("hot key estimate %d after 64 observations, want ≥ 16", est)
+	}
+	top := s.topK(4)
+	if len(top) == 0 || top[0].key != "hot-key" {
+		t.Fatalf("topK = %+v, want hot-key first", top)
+	}
+}
+
+// TestSketchDecayHalves: crossing the decay threshold halves the
+// estimates, so stale hotness ages out instead of accumulating
+// forever.
+func TestSketchDecayHalves(t *testing.T) {
+	s := newSketch(256, 4, 128, 8)
+	k := []byte("k")
+	for i := 0; i < 100; i++ {
+		s.observe(k)
+	}
+	before := s.estimate(k)
+	// Push total observations past decayEvery with other keys.
+	for i := 0; i < 200; i++ {
+		s.observe([]byte(fmt.Sprintf("filler-%d", i%17)))
+	}
+	after := s.estimate(k)
+	if after >= before {
+		t.Fatalf("estimate %d → %d across decay, want a drop", before, after)
+	}
+}
+
+// TestSketchCandidatesBounded: the candidate map never exceeds its
+// configured bound no matter how many distinct keys are offered.
+func TestSketchCandidatesBounded(t *testing.T) {
+	const maxCand = 8
+	s := newSketch(256, 1, 1<<20, maxCand)
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		est := s.observe(k)
+		s.offer(k, est)
+	}
+	s.cmu.Lock()
+	n := len(s.cand)
+	s.cmu.Unlock()
+	if n > maxCand {
+		t.Fatalf("candidate map holds %d keys, bound is %d", n, maxCand)
+	}
+}
+
+// TestSketchConcurrentObserve: observe/estimate/offer race-free under
+// concurrent hammering (run with -race).
+func TestSketchConcurrentObserve(t *testing.T) {
+	s := newSketch(512, 8, 1024, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				k := []byte(fmt.Sprintf("g%d-%d", g, i%50))
+				est := s.observe(k)
+				if est >= 8 {
+					s.offer(k, est)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.topK(8); len(got) == 0 {
+		t.Fatal("no candidates after concurrent hammering")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"icilk/internal/predict"
 	"icilk/internal/wire"
 )
 
@@ -240,6 +241,83 @@ func ParseCommandB(line []byte, r *RequestB) (needData int, errReply []byte) {
 	}
 }
 
+// Routing surface for the cluster frontend (internal/cluster): the
+// router parses once with ParseCommandB and then needs to know which
+// shard a command belongs to and whether it mutates the store,
+// without re-inspecting the line. Multi-key GETs never reach these —
+// the frontend fans them out itself from the raw key list.
+
+// RouteKey returns the single key a parsed command addresses — the
+// consistent-hash routing input — or nil for keyless commands
+// (stats, version, flush_all, quit, ...) and for multi-key GETs,
+// which route per key.
+func (r *RequestB) RouteKey() []byte {
+	switch r.Op {
+	case opSet, opAdd, opReplace, opAppend, opPrepend, opCas,
+		opDelete, opIncr, opDecr, opTouch:
+		return r.Key
+	}
+	return nil
+}
+
+// Mutates reports whether the parsed command writes the store — the
+// commands a hot-key replica set must see (write-all) when the key is
+// promoted.
+func (r *RequestB) Mutates() bool {
+	switch r.Op {
+	case opSet, opAdd, opReplace, opAppend, opPrepend, opCas,
+		opDelete, opIncr, opDecr, opTouch:
+		return true
+	}
+	return false
+}
+
+// IsFlushAll reports the one keyless mutation, which the cluster
+// frontend broadcasts to every shard.
+func (r *RequestB) IsFlushAll() bool { return r.Op == opFlushAll }
+
+// AdmissionClass returns the request class (opcode × value-size
+// bucket) the admission controller's predictive policy keys on — the
+// same class the single-runtime server charges, so a clustered
+// deployment trains the identical predictor tables.
+func (r *RequestB) AdmissionClass() predict.Class {
+	return predict.Class{Op: uint8(r.Op), Size: predict.SizeBucket(len(r.Data))}
+}
+
+// MultiGetClass is the admission class of a multi-key GET handled on
+// the cluster frontend's fan-out fast path (which never builds a
+// RequestB).
+func MultiGetClass() predict.Class { return predict.Class{Op: uint8(opGet)} }
+
+// ReplyOutOfCapacity is the admission-control shed response line,
+// exported for frontends outside this package (the cluster router
+// sheds with the same protocol error as the single-runtime server).
+var ReplyOutOfCapacity = replyOutOfCapacity
+
+// AppendValueLine appends one "VALUE <key> <flags> <len>[ <cas>]",
+// the value block, and CRLF framing to dst — the per-key unit of a
+// GET response. The cluster frontend assembles fanned-out multi-get
+// replies from these in original request key order; the bytes are
+// identical to ExecuteAppend's for the same hit.
+func AppendValueLine(dst []byte, key, value []byte, flags uint32, cas uint64, withCAS bool) []byte {
+	dst = append(dst, "VALUE "...)
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(flags), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(len(value)), 10)
+	if withCAS {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, cas, 10)
+	}
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, value...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendGetEnd appends the terminating "END" line of a GET response.
+func AppendGetEnd(dst []byte) []byte { return append(dst, replyEnd...) }
+
 // ExecuteAppend runs a parsed request against the store, appending
 // the protocol reply to dst (unchanged for noreply) and returning it.
 // quit reports that the connection should close. The reply bytes are
@@ -255,19 +333,7 @@ func ExecuteAppend(s *Store, r *RequestB, dst []byte) (out []byte, quit bool) {
 			if !ok {
 				continue
 			}
-			dst = append(dst, "VALUE "...)
-			dst = append(dst, key...)
-			dst = append(dst, ' ')
-			dst = strconv.AppendUint(dst, uint64(flags), 10)
-			dst = append(dst, ' ')
-			dst = strconv.AppendInt(dst, int64(len(value)), 10)
-			if withCAS {
-				dst = append(dst, ' ')
-				dst = strconv.AppendUint(dst, cas, 10)
-			}
-			dst = append(dst, '\r', '\n')
-			dst = append(dst, value...)
-			dst = append(dst, '\r', '\n')
+			dst = AppendValueLine(dst, key, value, flags, cas, withCAS)
 		}
 		return append(dst, replyEnd...), false
 

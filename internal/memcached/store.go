@@ -344,5 +344,42 @@ func (s *Store) CrawlShard(i int) int {
 // Shards returns the shard count (crawler scheduling).
 func (s *Store) Shards() int { return len(s.shards) }
 
+// Range calls fn for every live (unexpired) item — the enumeration a
+// cluster rebalance needs to move a shard's keys to their new owners.
+// Each hash-table partition's entries are snapshotted by value under
+// its lock and fn runs outside it, so concurrent protocol traffic is
+// never blocked behind fn. The field copies matter: an overwrite
+// mutates the Item struct in place, so holding *Item across the
+// unlock would race — but the Value byte slice itself is replace-
+// never-mutate (the GetView contract), so the snapshotted view stays
+// stable even if the entry is replaced mid-iteration; fn sees the
+// value current at snapshot time. fn returning false stops the walk.
+func (s *Store) Range(fn func(key string, value []byte, flags uint32, expireAt int64) bool) {
+	now := time.Now().Unix()
+	type entry struct {
+		key      string
+		value    []byte
+		flags    uint32
+		expireAt int64
+	}
+	var batch []entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		batch = batch[:0]
+		for _, it := range sh.table {
+			if !it.expired(now) {
+				batch = append(batch, entry{it.Key, it.Value, it.Flags, it.ExpireAt})
+			}
+		}
+		sh.mu.Unlock()
+		for _, e := range batch {
+			if !fn(e.key, e.value, e.flags, e.expireAt) {
+				return
+			}
+		}
+	}
+}
+
 // Uptime returns seconds since the store was created.
 func (s *Store) Uptime() int64 { return int64(time.Since(s.started) / time.Second) }

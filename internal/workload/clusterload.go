@@ -1,0 +1,401 @@
+package workload
+
+// The cluster load generator: the client side of the sharded
+// Memcached topology. It differs from the single-runtime driver
+// (internal/memcached.RunLoad) in three ways the cluster benchmark
+// needs:
+//
+//   - key→shard-aware routing: given the ring's Owner function, each
+//     connection affines itself to one shard and draws its single-key
+//     operations from that shard's keys — the behaviour of a smart
+//     memcached client that hashes keys to servers — so the benchmark
+//     can compare shard-aware against naive round-robin placement;
+//   - pipelined multi-get issue: a configurable fraction of requests
+//     are multi-key GETs whose keys scatter across shards, exercising
+//     the server's fan-out/join path, with several requests in flight
+//     per connection;
+//   - connection churn: each connection retires after a fixed number
+//     of requests and is redialed, so a run's aggregate connection
+//     count is conns × (requests / reqs-per-conn) — the 100k+
+//     connection figure of the cluster benchmark — and accept-path
+//     and per-connection-state costs stay in the measurement.
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"icilk/internal/netsim"
+	"icilk/internal/stats"
+	"icilk/internal/xrand"
+)
+
+// ClusterLoadConfig parameterizes one cluster load run.
+type ClusterLoadConfig struct {
+	// Conns is the number of concurrent client connections.
+	Conns int
+	// ReqsPerConn retires a connection after this many requests and
+	// redials (connection churn). 0 disables churn.
+	ReqsPerConn int
+	// Duration is the run length.
+	Duration time.Duration
+	// RPS is the aggregate open-loop arrival rate; 0 runs closed-loop
+	// (each connection keeps Pipeline requests in flight — the
+	// saturation-throughput mode).
+	RPS float64
+	// Pipeline is the per-connection in-flight request bound. Default
+	// 1; closed-loop runs want 8-32.
+	Pipeline int
+	// KeySpace is the number of distinct keys (preload them first).
+	KeySpace int
+	// ValueSize is the set-payload size in bytes.
+	ValueSize int
+	// GetFraction is the fraction of requests that are reads. Default
+	// 0.9.
+	GetFraction float64
+	// MultiGetFraction is the fraction of reads issued as multi-key
+	// GETs (keys drawn across the whole keyspace, exercising the
+	// server's fan-out). Default 0.
+	MultiGetFraction float64
+	// MultiGetKeys is the key count per multi-get. Default 8.
+	MultiGetKeys int
+	// ZipfS is the key-popularity skew (>1). Default 1.1.
+	ZipfS float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Warmup suppresses measurement (not load) for this initial span.
+	Warmup time.Duration
+
+	// Dial opens a fresh connection whose receiving shard is the
+	// given id (-1 = server's choice). Required.
+	Dial func(shard int) (*netsim.Endpoint, error)
+	// Owner maps a key to its owning shard and Shards counts them;
+	// together they enable shard-aware routing: connection i affines
+	// to shard i%Shards and draws single-key ops from keys that shard
+	// owns. Owner nil (or Shards < 2) disables awareness — every
+	// connection dials shard -1 and draws from the whole keyspace.
+	Owner  func(key []byte) int
+	Shards int
+}
+
+func (c *ClusterLoadConfig) applyDefaults() {
+	if c.Conns <= 0 {
+		c.Conns = 32
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 4096
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 64
+	}
+	if c.GetFraction <= 0 {
+		c.GetFraction = 0.9
+	}
+	if c.MultiGetKeys <= 0 {
+		c.MultiGetKeys = 8
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+}
+
+// ClusterLoadResult is one run's measured outcome.
+type ClusterLoadResult struct {
+	Latency   *stats.Recorder
+	Sent      int64
+	Completed int64
+	Errors    int64
+	Shed      int64
+	MultiGets int64
+	// Dials counts every connection opened, churn included — the
+	// run's aggregate simulated-connection count.
+	Dials   int64
+	Elapsed time.Duration
+}
+
+// AchievedRPS returns completed-request throughput.
+func (r *ClusterLoadResult) AchievedRPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// clusterPending tracks one in-flight request on a connection.
+type clusterPending struct {
+	scheduled time.Time
+	kind      byte // 'g' get, 'm' multi-get, 's' set
+}
+
+// clusterScanner is a minimal blocking line reader over an endpoint
+// (clients are plain goroutines outside the runtime).
+type clusterScanner struct {
+	ep  *netsim.Endpoint
+	buf []byte
+	pos int
+}
+
+func (ls *clusterScanner) readLine() ([]byte, error) {
+	for {
+		for i := ls.pos; i < len(ls.buf); i++ {
+			if ls.buf[i] == '\n' {
+				line := ls.buf[ls.pos:i]
+				ls.pos = i + 1
+				if len(line) > 0 && line[len(line)-1] == '\r' {
+					line = line[:len(line)-1]
+				}
+				return line, nil
+			}
+		}
+		if ls.pos > 0 {
+			rest := copy(ls.buf, ls.buf[ls.pos:])
+			ls.buf = ls.buf[:rest]
+			ls.pos = 0
+		}
+		if len(ls.buf) == cap(ls.buf) {
+			grown := make([]byte, len(ls.buf), max(2*cap(ls.buf), 4096))
+			copy(grown, ls.buf)
+			ls.buf = grown
+		}
+		n, err := ls.ep.Read(ls.buf[len(ls.buf):cap(ls.buf)])
+		if n > 0 {
+			ls.buf = ls.buf[:len(ls.buf)+n]
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// appendClusterKey appends the canonical bench key name ("key:%08d").
+func appendClusterKey(dst []byte, i uint64) []byte {
+	dst = append(dst, "key:"...)
+	var tmp [20]byte
+	s := strconv.AppendUint(tmp[:0], i, 10)
+	for pad := 8 - len(s); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	return append(dst, s...)
+}
+
+const clusterShedLine = "SERVER_ERROR out of capacity"
+
+// RunClusterLoad drives a cluster with the configured workload. Each
+// of cfg.Conns worker slots runs a sequence of connection
+// generations (dial, issue up to ReqsPerConn pipelined requests,
+// drain replies, close, redial) until the duration elapses.
+func RunClusterLoad(cfg ClusterLoadConfig) *ClusterLoadResult {
+	cfg.applyDefaults()
+	aware := cfg.Owner != nil && cfg.Shards > 1
+
+	// Shard-aware key plan: partition the keyspace by owner so an
+	// affined connection draws only keys its shard owns.
+	var byShard [][]uint64
+	if aware {
+		byShard = make([][]uint64, cfg.Shards)
+		var kb []byte
+		for i := uint64(0); i < uint64(cfg.KeySpace); i++ {
+			kb = appendClusterKey(kb[:0], i)
+			o := cfg.Owner(kb)
+			if o < 0 || o >= cfg.Shards {
+				o = 0
+			}
+			byShard[o] = append(byShard[o], i)
+		}
+	}
+
+	res := &ClusterLoadResult{Latency: stats.NewRecorder(1 << 16)}
+	var sent, completed, errors, shed, multigets, dials atomic.Int64
+	rootRNG := xrand.New(cfg.Seed)
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	deadline := start.Add(cfg.Duration)
+	perConnRate := 0.0
+	if cfg.RPS > 0 {
+		perConnRate = cfg.RPS / float64(cfg.Conns)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Conns; c++ {
+		shard := -1
+		var shardKeys []uint64
+		if aware {
+			shard = c % cfg.Shards
+			shardKeys = byShard[shard]
+			if len(shardKeys) == 0 {
+				shard = -1
+			}
+		}
+		rng := rootRNG.Split()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Zipf over the connection's key plan: the affined shard's
+			// keys when aware, the whole keyspace otherwise. Multi-get
+			// keys always come from the global space (they exist to
+			// scatter).
+			span := uint64(cfg.KeySpace)
+			if shard >= 0 {
+				span = uint64(len(shardKeys))
+			}
+			zipf := xrand.NewZipf(rng, cfg.ZipfS, span)
+			globalZipf := xrand.NewZipf(rng, cfg.ZipfS, uint64(cfg.KeySpace))
+			val := make([]byte, cfg.ValueSize)
+			for i := range val {
+				val[i] = 'a' + byte(i)%26
+			}
+			var req []byte
+			next := time.Now()
+			for time.Now().Before(deadline) {
+				ep, err := cfg.Dial(shard)
+				if err != nil {
+					errors.Add(1)
+					return
+				}
+				dials.Add(1)
+				ep.BufferWrites()
+				pending := make(chan clusterPending, cfg.Pipeline)
+				done := make(chan struct{})
+
+				// Receiver for this generation.
+				go func(ep *netsim.Endpoint) {
+					defer close(done)
+					ls := &clusterScanner{ep: ep}
+					for p := range pending {
+						ok := true
+						isShed := false
+						switch p.kind {
+						case 'g', 'm':
+							for {
+								line, err := ls.readLine()
+								if err != nil {
+									errors.Add(1)
+									return
+								}
+								if string(line) == "END" {
+									break
+								}
+								if len(line) >= 6 && string(line[:6]) == "VALUE " {
+									if _, err := ls.readLine(); err != nil {
+										errors.Add(1)
+										return
+									}
+									continue
+								}
+								ok = false
+								isShed = string(line) == clusterShedLine
+								break
+							}
+						default: // set
+							line, err := ls.readLine()
+							if err != nil {
+								errors.Add(1)
+								return
+							}
+							ok = string(line) == "STORED"
+							isShed = string(line) == clusterShedLine
+						}
+						measured := p.scheduled.After(measureFrom)
+						switch {
+						case isShed:
+							if measured {
+								shed.Add(1)
+							}
+						case !ok:
+							errors.Add(1)
+						default:
+							if measured {
+								res.Latency.Record(time.Since(p.scheduled))
+							}
+							completed.Add(1)
+						}
+					}
+				}(ep)
+
+				// Sender for this generation.
+				n := 0
+				for (cfg.ReqsPerConn == 0 || n < cfg.ReqsPerConn) && time.Now().Before(deadline) {
+					scheduled := time.Now()
+					if perConnRate > 0 {
+						gap := time.Duration(rng.Exp(float64(time.Second) / perConnRate))
+						next = next.Add(gap)
+						if next.After(deadline) {
+							break
+						}
+						if d := time.Until(next); d > 0 {
+							time.Sleep(d)
+						}
+						scheduled = next
+					}
+					kind := byte('s')
+					if rng.Float64() < cfg.GetFraction {
+						kind = 'g'
+						if cfg.MultiGetFraction > 0 && rng.Float64() < cfg.MultiGetFraction {
+							kind = 'm'
+						}
+					}
+					switch kind {
+					case 'm':
+						req = append(req[:0], "get"...)
+						for k := 0; k < cfg.MultiGetKeys; k++ {
+							req = append(req, ' ')
+							req = appendClusterKey(req, globalZipf.Uint64())
+						}
+						req = append(req, '\r', '\n')
+						multigets.Add(1)
+					case 'g':
+						key := zipf.Uint64()
+						if shard >= 0 {
+							key = shardKeys[key]
+						}
+						req = append(req[:0], "get "...)
+						req = appendClusterKey(req, key)
+						req = append(req, '\r', '\n')
+					default:
+						key := zipf.Uint64()
+						if shard >= 0 {
+							key = shardKeys[key]
+						}
+						req = append(req[:0], "set "...)
+						req = appendClusterKey(req, key)
+						req = append(req, " 0 0 "...)
+						req = strconv.AppendInt(req, int64(len(val)), 10)
+						req = append(req, '\r', '\n')
+						req = append(req, val...)
+						req = append(req, '\r', '\n')
+					}
+					// Pipeline bound: blocks when Pipeline requests are
+					// in flight (closed-loop pacing when RPS is 0).
+					pending <- clusterPending{scheduled: scheduled, kind: kind}
+					if _, err := ep.Write(req); err != nil {
+						errors.Add(1)
+						break
+					}
+					ep.Flush()
+					sent.Add(1)
+					n++
+				}
+				close(pending)
+				<-done
+				ep.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Sent = sent.Load()
+	res.Completed = completed.Load()
+	res.Errors = errors.Load()
+	res.Shed = shed.Load()
+	res.MultiGets = multigets.Load()
+	res.Dials = dials.Load()
+	return res
+}

@@ -56,15 +56,75 @@ func (r *Result) ClassSummary(name string) stats.Summary {
 // request sequence number.
 type SubmitFunc func(class, user int, seq int64) *icilk.Future
 
+// Pacer generates one deterministic open-loop arrival schedule:
+// Poisson gaps at the configured rate, class picks by mix weight, and
+// the optional user spread — the shared arrival process behind
+// RunOpenLoop, RunOpenLoopGoodput, and the cluster load generator.
+// The draw sequence per arrival (gap, class, user) is fixed, so two
+// pacers with the same config and seed produce identical schedules
+// regardless of what the caller does between calls.
+type Pacer struct {
+	rng      *xrand.Rand
+	meanGap  float64
+	mix      []float64
+	totalW   float64
+	spread   int
+	next     time.Time
+	deadline time.Time
+}
+
+// NewPacer builds the arrival schedule [start, start+cfg.Duration).
+func NewPacer(cfg OpenLoopConfig, start time.Time) *Pacer {
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xfeed
+	}
+	var totalW float64
+	for _, w := range cfg.Mix {
+		totalW += w
+	}
+	return &Pacer{
+		rng: xrand.New(cfg.Seed),
+		// Truncate to whole nanoseconds exactly as the pre-extraction
+		// loops did, so existing seeds reproduce bit-identical
+		// schedules.
+		meanGap:  float64(time.Duration(float64(time.Second) / cfg.RPS)),
+		mix:      cfg.Mix,
+		totalW:   totalW,
+		spread:   cfg.Spread,
+		next:     start,
+		deadline: start.Add(cfg.Duration),
+	}
+}
+
+// Next returns the next scheduled arrival, or ok=false when the
+// schedule is exhausted. The caller sleeps until the returned time
+// (open-loop: the schedule never slows down for a lagging server).
+func (p *Pacer) Next() (scheduled time.Time, class, user int, ok bool) {
+	gap := time.Duration(p.rng.Exp(p.meanGap))
+	p.next = p.next.Add(gap)
+	if p.next.After(p.deadline) {
+		return time.Time{}, 0, 0, false
+	}
+	x := p.rng.Float64() * p.totalW
+	for i, w := range p.mix {
+		if x < w {
+			class = i
+			break
+		}
+		x -= w
+	}
+	if p.spread > 0 {
+		user = p.rng.Intn(p.spread)
+	}
+	return p.next, class, user, true
+}
+
 // RunOpenLoop generates Poisson arrivals at the configured rate,
 // dispatching classes by the mix weights, and records each request's
 // latency from its scheduled arrival time to future completion.
 func RunOpenLoop(cfg OpenLoopConfig, submit SubmitFunc) *Result {
 	if len(cfg.Mix) == 0 {
 		panic("workload: empty mix")
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 0xfeed
 	}
 	names := cfg.ClassNames
 	if names == nil {
@@ -73,46 +133,23 @@ func RunOpenLoop(cfg OpenLoopConfig, submit SubmitFunc) *Result {
 			names[i] = fmt.Sprintf("class%d", i)
 		}
 	}
-	var totalW float64
-	for _, w := range cfg.Mix {
-		totalW += w
-	}
 
 	res := &Result{PerClass: stats.NewMultiRecorder(), All: stats.NewRecorder(4096)}
-	rng := xrand.New(cfg.Seed)
-	meanGap := time.Duration(float64(time.Second) / cfg.RPS)
 
 	var wg sync.WaitGroup
 	start := time.Now()
 	measureFrom := start.Add(cfg.Warmup)
-	deadline := start.Add(cfg.Duration)
-	next := start
+	pacer := NewPacer(cfg, start)
 	var seq int64
 	for {
-		gap := time.Duration(rng.Exp(float64(meanGap)))
-		next = next.Add(gap)
-		if next.After(deadline) {
+		scheduled, class, user, ok := pacer.Next()
+		if !ok {
 			break
 		}
-		if d := time.Until(next); d > 0 {
+		if d := time.Until(scheduled); d > 0 {
 			time.Sleep(d)
 		}
-		// Pick the class by weight.
-		x := rng.Float64() * totalW
-		class := 0
-		for i, w := range cfg.Mix {
-			if x < w {
-				class = i
-				break
-			}
-			x -= w
-		}
-		user := 0
-		if cfg.Spread > 0 {
-			user = rng.Intn(cfg.Spread)
-		}
 		seq++
-		scheduled := next
 		f := submit(class, user, seq)
 		res.Sent++
 		name := names[class]
@@ -199,19 +236,12 @@ func RunOpenLoopGoodput(cfg OpenLoopConfig, deadline time.Duration, submit Goodp
 	if deadline <= 0 {
 		panic("workload: goodput needs a deadline")
 	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 0xfeed
-	}
 	names := cfg.ClassNames
 	if names == nil {
 		names = make([]string, len(cfg.Mix))
 		for i := range names {
 			names[i] = fmt.Sprintf("class%d", i)
 		}
-	}
-	var totalW float64
-	for _, w := range cfg.Mix {
-		totalW += w
 	}
 
 	res := &GoodputResult{
@@ -220,39 +250,21 @@ func RunOpenLoopGoodput(cfg OpenLoopConfig, deadline time.Duration, submit Goodp
 		Latency:    stats.NewMultiRecorder(),
 	}
 	counters := make([]goodputCounters, len(cfg.Mix))
-	rng := xrand.New(cfg.Seed)
-	meanGap := time.Duration(float64(time.Second) / cfg.RPS)
 
 	var wg sync.WaitGroup
 	start := time.Now()
 	measureFrom := start.Add(cfg.Warmup)
-	end := start.Add(cfg.Duration)
-	next := start
+	pacer := NewPacer(cfg, start)
 	var seq int64
 	for {
-		gap := time.Duration(rng.Exp(float64(meanGap)))
-		next = next.Add(gap)
-		if next.After(end) {
+		scheduled, class, user, ok := pacer.Next()
+		if !ok {
 			break
 		}
-		if d := time.Until(next); d > 0 {
+		if d := time.Until(scheduled); d > 0 {
 			time.Sleep(d)
 		}
-		x := rng.Float64() * totalW
-		class := 0
-		for i, w := range cfg.Mix {
-			if x < w {
-				class = i
-				break
-			}
-			x -= w
-		}
-		user := 0
-		if cfg.Spread > 0 {
-			user = rng.Intn(cfg.Spread)
-		}
 		seq++
-		scheduled := next
 		measured := scheduled.After(measureFrom)
 		f, err := submit(class, user, seq)
 		res.Sent++
