@@ -12,6 +12,13 @@
 //	          bytes/op). With -label/-o the measurement is appended to
 //	          a JSON trajectory file (BENCH_datapath.json).
 //
+// -connsweep runs the real-socket connection-scaling sweep instead: at
+// each connection count it saturates a loopback TCP server under both
+// readiness transports (per-connection pump goroutines vs the shared
+// epoll poller) and reports achieved RPS, p99, allocs/op, and
+// server-side syscalls/op. With -label/-o the rows are appended to the
+// trajectory file's conns_sweep section.
+//
 // RPS values are scaled for the host this runs on; pass -rps to
 // override. The paper's qualitative expectations are printed beside
 // the measurements (see EXPERIMENTS.md for the comparison record).
@@ -28,6 +35,8 @@ import (
 
 	"icilk"
 	"icilk/internal/bench"
+	"icilk/internal/netpoll"
+	"icilk/internal/netreal"
 )
 
 func main() {
@@ -42,6 +51,8 @@ func main() {
 	seed := flag.Uint64("seed", 0xcafe, "workload seed")
 	reps := flag.Int("reps", 1, "repetitions per point (median by p99 reported)")
 	admin := flag.String("admin", "", "admin HTTP address (bind loopback, e.g. 127.0.0.1:6060; unauthenticated); follows the current run's runtime")
+	connSweepList := flag.String("connsweep", "", "comma-separated connection counts (e.g. 256,1024,4096): run the real-socket transport sweep instead of a figure")
+	pollShards := flag.Int("pollshards", 0, "connsweep: shared poller goroutines (0 = min(4, GOMAXPROCS))")
 	flag.Parse()
 
 	if *admin != "" {
@@ -55,9 +66,9 @@ func main() {
 		fmt.Printf("# admin endpoint on http://%s\n", adm.Addr())
 	}
 
-	if *fig == 4 {
-		// Saturating default: the point of fig 4 is the ceiling, not a
-		// latency curve.
+	if *fig == 4 || *connSweepList != "" {
+		// Saturating default: the point of fig 4 (and the conns sweep)
+		// is the ceiling, not a latency curve.
 		rpsSet := false
 		flag.Visit(func(f *flag.Flag) { rpsSet = rpsSet || f.Name == "rps" })
 		if !rpsSet {
@@ -83,6 +94,11 @@ func main() {
 			Workers: *workers, Connections: *conns, RPS: r,
 			Duration: *dur, Seed: *seed, Reps: *reps,
 		}
+	}
+
+	if *connSweepList != "" {
+		connSweep(*connSweepList, rps[0], *pollShards, opt, *label, *out)
+		return
 	}
 
 	switch *fig {
@@ -158,8 +174,32 @@ type datapathResult struct {
 }
 
 type datapathFile struct {
-	Comment string          `json:"_comment"`
-	Entries []datapathEntry `json:"entries"`
+	Comment    string           `json:"_comment"`
+	Entries    []datapathEntry  `json:"entries"`
+	ConnsSweep []connSweepEntry `json:"conns_sweep,omitempty"`
+}
+
+// connSweepEntry is one -connsweep measurement set: the real-socket
+// transport comparison across connection counts.
+type connSweepEntry struct {
+	Label  string         `json:"label"`
+	Date   string         `json:"date"`
+	Config string         `json:"config"`
+	Rows   []connSweepRow `json:"rows"`
+}
+
+type connSweepRow struct {
+	Conns           int     `json:"conns"`
+	Transport       string  `json:"transport"`
+	OfferedRPS      float64 `json:"offered_rps"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	P50Us           float64 `json:"p50_us"`
+	P99Us           float64 `json:"p99_us"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	SyscallsPerOp   float64 `json:"syscalls_per_op"`
+	SysReadsPerOp   float64 `json:"sys_reads_per_op"`
+	SysWritesPerOp  float64 `json:"sys_writes_per_op"`
+	EpollWaitsPerOp float64 `json:"epoll_waits_per_op"`
 }
 
 const datapathComment = "Memcached data-path trajectory (saturation throughput + allocation profile); append entries with: go run ./cmd/memcached-bench -fig 4 -label <change> -o BENCH_datapath.json"
@@ -222,6 +262,80 @@ func fig4(rps []float64, opt func(float64) bench.MemcachedOptions, label, out st
 	check(err)
 	check(os.WriteFile(out, append(data, '\n'), 0o644))
 	fmt.Printf("# appended %q to %s\n", label, out)
+}
+
+// connSweep runs the real-socket transport comparison: each
+// connection count is saturated under the per-connection pump and
+// (where built) the shared epoll poller, on the Prompt scheduler.
+func connSweep(connsList string, offered float64, pollShards int, opt func(float64) bench.MemcachedOptions, label, out string) {
+	var counts []int
+	for _, s := range strings.Split(connsList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad -connsweep %q\n", s)
+			os.Exit(2)
+		}
+		counts = append(counts, v)
+	}
+	transports := []struct {
+		name string
+		mode netreal.Mode
+	}{{"pump", netreal.ModePump}}
+	if netpoll.Supported {
+		transports = append(transports, struct {
+			name string
+			mode netreal.Mode
+		}{"poll", netreal.ModePoll})
+	}
+	fmt.Println("# Connection sweep: real loopback TCP, pump vs shared-poller transport")
+	fmt.Println("# Offered load saturates; syscalls/op is server-side (read+write+epoll).")
+	entry := connSweepEntry{Label: label, Date: time.Now().UTC().Format("2006-01-02")}
+	fmt.Printf("%8s %-6s %10s %10s %10s %8s %7s %7s %7s\n",
+		"conns", "mode", "achieved", "p99", "allocs/op", "sys/op", "rd/op", "wr/op", "wait/op")
+	for _, c := range counts {
+		o := opt(offered)
+		o.Connections = c
+		entry.Config = fmt.Sprintf("workers=%d dur=%s value=64B get=0.9", o.Workers, o.Duration)
+		for _, tr := range transports {
+			run, err := bench.RunMemcachedNet(icilk.Prompt, icilk.AdaptiveParams{},
+				bench.NetMemcachedOptions{MemcachedOptions: o, Mode: tr.mode, PollShards: pollShards})
+			check(err)
+			achieved := float64(run.Completed) / run.Elapsed.Seconds()
+			fmt.Printf("%8d %-6s %10.0f %s %10.1f %8.2f %7.2f %7.2f %7.3f\n",
+				c, tr.name, achieved, bench.Fmt(run.Latency.Percentile(99)),
+				run.AllocsPerOp, run.SyscallsPerOp, run.SysReadsPerOp,
+				run.SysWritesPerOp, run.EpollWaitsPerOp)
+			entry.Rows = append(entry.Rows, connSweepRow{
+				Conns: c, Transport: tr.name, OfferedRPS: offered,
+				AchievedRPS:   achieved,
+				P50Us:         float64(run.Latency.Percentile(50)) / float64(time.Microsecond),
+				P99Us:         float64(run.Latency.Percentile(99)) / float64(time.Microsecond),
+				AllocsPerOp:   run.AllocsPerOp,
+				SyscallsPerOp: run.SyscallsPerOp, SysReadsPerOp: run.SysReadsPerOp,
+				SysWritesPerOp: run.SysWritesPerOp, EpollWaitsPerOp: run.EpollWaitsPerOp,
+			})
+		}
+	}
+	if out == "" {
+		return
+	}
+	if label == "" {
+		fmt.Fprintln(os.Stderr, "-o requires -label (what is being measured?)")
+		os.Exit(2)
+	}
+	var file datapathFile
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	file.Comment = datapathComment
+	file.ConnsSweep = append(file.ConnsSweep, entry)
+	data, err := json.MarshalIndent(&file, "", "  ")
+	check(err)
+	check(os.WriteFile(out, append(data, '\n'), 0o644))
+	fmt.Printf("# appended conns sweep %q to %s\n", label, out)
 }
 
 func fig3(rps []float64, sweep []icilk.AdaptiveParams, opt func(float64) bench.MemcachedOptions) {

@@ -28,9 +28,23 @@ import (
 	"icilk"
 	"icilk/internal/cluster"
 	"icilk/internal/memcached"
+	"icilk/internal/netpoll"
 	"icilk/internal/netreal"
 	"icilk/internal/stats"
 )
+
+// parseTransport maps the -transport flag to a netreal mode.
+func parseTransport(s string) (netreal.Mode, error) {
+	switch s {
+	case "auto":
+		return netreal.ModeAuto, nil
+	case "pump":
+		return netreal.ModePump, nil
+	case "poll":
+		return netreal.ModePoll, nil
+	}
+	return 0, fmt.Errorf("unknown -transport %q (auto|pump|poll)", s)
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:11211", "listen address (host:port)")
@@ -42,6 +56,8 @@ func main() {
 	shards := flag.Int("shards", 1, "runtime shards; >1 enables the cluster topology (consistent-hash routing, fanned-out multi-gets)")
 	vnodes := flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring (cluster mode)")
 	replicateHot := flag.Bool("replicate-hot", false, "detect hot keys by frequency sketch and replicate them read-any/write-all (cluster mode)")
+	pollShards := flag.Int("pollshards", 0, "shared epoll poller goroutines for the socket layer (0 = min(4, GOMAXPROCS); Linux only — elsewhere the per-connection pump runs regardless)")
+	transport := flag.String("transport", "auto", "socket readiness transport: auto, pump (per-connection goroutine fallback), poll (shared epoll pollers)")
 	flag.Parse()
 
 	kind, err := icilk.ParseScheduler(*schedName)
@@ -49,10 +65,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	mode, err := parseTransport(*transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *pollShards > 0 {
+		netreal.SetPollShards(*pollShards)
+	}
 	rtCfg := icilk.Config{Workers: *workers, Levels: 2, Scheduler: kind}
 
 	if *shards > 1 {
-		runCluster(rtCfg, *listen, *network, *adminAddr, *shards, *vnodes, *replicateHot, *maxBytes)
+		runCluster(rtCfg, mode, *listen, *network, *adminAddr, *shards, *vnodes, *replicateHot, *maxBytes)
 		return
 	}
 
@@ -69,6 +93,7 @@ func main() {
 	})
 	if *adminAddr != "" {
 		netreal.DefaultStats.RegisterMetrics(rt.Metrics())
+		netpoll.PollStats.RegisterMetrics(rt.Metrics())
 		adm, err := rt.ServeAdmin(*adminAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "admin:", err)
@@ -87,13 +112,16 @@ func main() {
 		kind, *workers, nl.Addr())
 
 	srv.StartCrawler()
+	// Readiness callbacks batch through the runtime's I/O pool so a
+	// poller pass costs one handoff and one coalesced scheduler wake.
+	wrapOpts := netreal.Options{Batcher: rt.IOBatcher(), Mode: mode}
 	go func() {
 		for {
 			nc, err := nl.Accept()
 			if err != nil {
 				return
 			}
-			srv.HandleConn(netreal.Wrap(nc))
+			srv.HandleConn(netreal.WrapOptions(nc, wrapOpts))
 		}
 	}()
 
@@ -119,7 +147,7 @@ func main() {
 
 // runCluster is the -shards>1 serving path: the cluster topology on a
 // real socket.
-func runCluster(rtCfg icilk.Config, listen, network, adminAddr string, shards, vnodes int, replicateHot bool, maxBytes int64) {
+func runCluster(rtCfg icilk.Config, mode netreal.Mode, listen, network, adminAddr string, shards, vnodes int, replicateHot bool, maxBytes int64) {
 	cl, err := cluster.New(cluster.Config{
 		Shards:       shards,
 		VNodes:       vnodes,
@@ -133,6 +161,7 @@ func runCluster(rtCfg icilk.Config, listen, network, adminAddr string, shards, v
 	}
 	if adminAddr != "" {
 		netreal.DefaultStats.RegisterMetrics(cl.Shard(0).Runtime().Metrics())
+		netpoll.PollStats.RegisterMetrics(cl.Shard(0).Runtime().Metrics())
 		adm := icilk.NewAdminServer()
 		cl.AttachAdmin(adm)
 		if err := adm.Start(adminAddr); err != nil {
@@ -149,13 +178,18 @@ func runCluster(rtCfg icilk.Config, listen, network, adminAddr string, shards, v
 	}
 	fmt.Printf("memcached cluster (%d shards × %d workers, %s scheduler, replicate-hot=%v) listening on %s\n",
 		shards, rtCfg.Workers, rtCfg.Scheduler, replicateHot, nl.Addr())
+	// Batch completions through the frontend shard's I/O pool; a
+	// future created on another shard still completes correctly (the
+	// callback completes it directly), it just coalesces under this
+	// shard's wake bracket.
+	wrapOpts := netreal.Options{Batcher: cl.Shard(0).Runtime().IOBatcher(), Mode: mode}
 	go func() {
 		for {
 			nc, err := nl.Accept()
 			if err != nil {
 				return
 			}
-			cl.HandleConn(netreal.Wrap(nc))
+			cl.HandleConn(netreal.WrapOptions(nc, wrapOpts))
 		}
 	}()
 

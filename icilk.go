@@ -217,7 +217,11 @@ func New(cfg Config) (*Runtime, error) {
 	if io <= 0 {
 		io = 4
 	}
-	pool := iopool.New(io, iopool.WithCapacity(cfg.IOQueueCapacity))
+	// Batched completions (shared-poller connections) drain inside a
+	// wake-coalescing bracket: every resumed task sets its promptness
+	// bit immediately, but the batch crosses the sleeper futex once.
+	pool := iopool.New(io, iopool.WithCapacity(cfg.IOQueueCapacity),
+		iopool.WithBatchWrap(rt.CoalesceWakes))
 	reg := metrics.NewRegistry()
 	rt.RegisterMetrics(reg)
 	pool.RegisterMetrics(reg)
@@ -329,6 +333,14 @@ func (r *Runtime) NewIOFuture() *Future { return r.rt.NewIOFuture() }
 func (r *Runtime) CompleteIO(f *Future, v any) {
 	r.io.Submit(func() { f.Complete(v) })
 }
+
+// IOBatcher exposes the runtime's I/O pool as a batch submitter:
+// external readiness sources (the netreal/netpoll shared pollers)
+// hand a whole harvest of completion callbacks to the handler
+// threads in one operation, and the pool drains each batch inside
+// the scheduler's wake-coalescing bracket. The returned value
+// implements netpoll.Batcher.
+func (r *Runtime) IOBatcher() interface{ SubmitBatch(fns []func()) } { return r.io }
 
 // Sleep parks the calling task for d without occupying a worker: the
 // worker suspends the task's deque and runs other work; a timer

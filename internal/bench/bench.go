@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"time"
 
@@ -15,6 +16,8 @@ import (
 	"icilk/internal/emailserver"
 	"icilk/internal/jobserver"
 	"icilk/internal/memcached"
+	"icilk/internal/netpoll"
+	"icilk/internal/netreal"
 	"icilk/internal/netsim"
 	"icilk/internal/stats"
 	"icilk/internal/workload"
@@ -90,6 +93,15 @@ type Run struct {
 	// combined — both sides of the byte path are in this process).
 	AllocsPerOp float64
 	BytesPerOp  float64
+	// SyscallsPerOp is the server-side data-path syscall count per
+	// completed request (read + write + epoll_wait + epoll_ctl), with
+	// the read/write/epoll_wait components broken out; populated only
+	// by RunMemcachedNet (real sockets). Client-side syscalls go
+	// through the Go runtime poller and are not counted.
+	SyscallsPerOp   float64
+	SysReadsPerOp   float64
+	SysWritesPerOp  float64
+	EpollWaitsPerOp float64
 }
 
 // measureAllocs wraps fn with runtime.MemStats sampling and charges
@@ -241,6 +253,127 @@ func RunMemcachedICilk(kind icilk.Scheduler, params icilk.AdaptiveParams, opt Me
 		Params: params, Latency: res.Latency, Waste: rt.WasteReport(),
 		Elapsed: res.Elapsed, Completed: res.Completed, Errors: res.Errors,
 		AllocsPerOp: aOp, BytesPerOp: bOp,
+	}
+	for _, s := range samplers {
+		run.AvgNonEmptyDeques = append(run.AvgNonEmptyDeques, s.Mean())
+	}
+	return run, nil
+}
+
+// NetMemcachedOptions configures a Memcached load point over real TCP
+// sockets (loopback): the workload knobs plus the transport choice.
+type NetMemcachedOptions struct {
+	MemcachedOptions
+	// Mode selects the socket readiness transport (pump goroutine vs
+	// shared epoll poller); ModeAuto prefers the poller where built.
+	Mode netreal.Mode
+	// PollShards is the number of shared poller goroutines (0 =
+	// min(4, GOMAXPROCS)). Ignored in pump mode.
+	PollShards int
+}
+
+// RunMemcachedNet measures one Memcached point over real loopback TCP
+// with the netreal socket layer, reporting data-path syscalls per op
+// alongside the usual latency/allocation measurements. This is the
+// harness behind the -connsweep benchmark mode.
+func RunMemcachedNet(kind icilk.Scheduler, params icilk.AdaptiveParams, opt NetMemcachedOptions) (*Run, error) {
+	opt.defaults()
+	if opt.Reps > 1 {
+		reps := opt.Reps
+		opt.Reps = 1
+		return withReps(reps, func() (*Run, error) { return RunMemcachedNet(kind, params, opt) })
+	}
+	rt, err := icilk.New(icilk.Config{
+		Workers: opt.Workers, IOThreads: opt.IOThreads,
+		Levels: memcachedLevels, Scheduler: kind, Adaptive: params,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	notifyRuntime(rt)
+
+	store := memcached.NewStore(memcached.StoreConfig{})
+	wcfg := memcached.WorkloadConfig{
+		Connections: opt.Connections, RPS: opt.RPS, Duration: opt.Duration,
+		KeySpace: opt.KeySpace, ValueSize: opt.ValueSize,
+		GetFraction: opt.GetFraction, Seed: opt.Seed, Warmup: opt.Warmup,
+	}
+	memcached.Preload(store, wcfg)
+	srv := memcached.NewICilkServer(store, rt, memcached.ICilkConfig{})
+
+	// A per-run Stats instance and poller group keep the syscall
+	// accounting clean across swept runs (netpoll.PollStats is
+	// process-global, so its counters are read as deltas).
+	netStats := &netreal.Stats{}
+	wrapOpts := netreal.Options{Stats: netStats, Batcher: rt.IOBatcher(), Mode: opt.Mode}
+	if opt.Mode != netreal.ModePump && netpoll.Supported {
+		shards := opt.PollShards
+		if shards <= 0 {
+			shards = min(4, runtime.GOMAXPROCS(0))
+		}
+		g, err := netpoll.Open(shards)
+		if err != nil {
+			return nil, err
+		}
+		defer g.Close()
+		wrapOpts.Group = g
+	}
+	waits0, ctls0 := netpoll.PollStats.EpollWaits(), netpoll.PollStats.EpollCtls()
+
+	nl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			nc, err := nl.Accept()
+			if err != nil {
+				return
+			}
+			srv.HandleConn(netreal.WrapOptions(nc, wrapOpts))
+		}
+	}()
+	defer func() { nl.Close(); srv.Close() }()
+
+	rt.ResetWaste()
+	samplers := make([]*stats.Sampler, memcachedLevels)
+	for l := range samplers {
+		l := l
+		samplers[l] = stats.NewSampler(opt.SamplePeriod, func() float64 {
+			return float64(rt.NonEmptyDeques(l))
+		})
+		samplers[l].Start()
+	}
+
+	var res *memcached.LoadResult
+	aOp, bOp, err := measureAllocs(
+		func() int64 {
+			if res == nil {
+				return 0
+			}
+			return res.Completed
+		},
+		func() (err error) { res, err = memcached.RunLoadTCP(nl.Addr().String(), wcfg); return err })
+	for _, s := range samplers {
+		s.Stop()
+	}
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{
+		Params: params, Latency: res.Latency, Waste: rt.WasteReport(),
+		Elapsed: res.Elapsed, Completed: res.Completed, Errors: res.Errors,
+		AllocsPerOp: aOp, BytesPerOp: bOp,
+	}
+	if n := res.Completed; n > 0 {
+		reads, writes := netStats.SysReads(), netStats.SysWrites()
+		waits := netpoll.PollStats.EpollWaits() - waits0
+		ctls := netpoll.PollStats.EpollCtls() - ctls0
+		run.SysReadsPerOp = float64(reads) / float64(n)
+		run.SysWritesPerOp = float64(writes) / float64(n)
+		run.EpollWaitsPerOp = float64(waits) / float64(n)
+		run.SyscallsPerOp = float64(reads+writes+waits+ctls) / float64(n)
 	}
 	for _, s := range samplers {
 		run.AvgNonEmptyDeques = append(run.AvgNonEmptyDeques, s.Mean())

@@ -29,6 +29,19 @@ type NetFrontend struct {
 	ops map[string]*opMetrics // nil unless RegisterMetrics was called
 }
 
+// Conn is the connection surface the frontend serves: the in-memory
+// netsim.Endpoint and the real-socket netreal.Conn both satisfy it.
+type Conn interface {
+	icilk.Conn
+	WriteString(s string) (int, error)
+	Close() error
+}
+
+// bufferedWriter is the optional write-coalescing switch some
+// transports expose (netsim.Endpoint; netreal.Conn coalesces
+// always).
+type bufferedWriter interface{ BufferWrites() }
+
 // NewNetFrontend wraps a server.
 func NewNetFrontend(srv *Server, rt *icilk.Runtime) *NetFrontend {
 	return &NetFrontend{srv: srv, rt: rt}
@@ -83,7 +96,7 @@ const (
 
 // await gets f's result, distinguishing the timeout outcome. A shed
 // submission (err != nil, f == nil) is reported immediately.
-func (nf *NetFrontend) await(t *icilk.Task, ep *netsim.Endpoint, f *icilk.Future, err error) (any, bool) {
+func (nf *NetFrontend) await(t *icilk.Task, ep Conn, f *icilk.Future, err error) (any, bool) {
 	if err != nil {
 		ep.WriteString(replyShed)
 		return nil, false
@@ -104,16 +117,26 @@ func (nf *NetFrontend) Serve(ln *netsim.Listener) {
 		if err != nil {
 			return
 		}
-		nf.rt.Submit(LevelPrint, func(t *icilk.Task) any {
-			nf.handleConn(t, ep)
-			return nil
-		})
+		nf.HandleConn(ep)
 	}
 }
 
-func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
+// HandleConn serves one connection (any transport satisfying Conn)
+// as a lowest-priority future routine; the returned future completes
+// when the connection closes. Real-socket servers accept and wrap
+// their net.Conns, then hand them here.
+func (nf *NetFrontend) HandleConn(ep Conn) *icilk.Future {
+	return nf.rt.Submit(LevelPrint, func(t *icilk.Task) any {
+		nf.handleConn(t, ep)
+		return nil
+	})
+}
+
+func (nf *NetFrontend) handleConn(t *icilk.Task, ep Conn) {
 	defer ep.Close()
-	ep.BufferWrites()
+	if bw, ok := ep.(bufferedWriter); ok {
+		bw.BufferWrites()
+	}
 	lr := nf.rt.NewLineReader(ep)
 	var (
 		fields  [][]byte // reused split scratch
@@ -225,7 +248,7 @@ func upperASCII(b []byte) {
 
 // parseUser extracts the single <user> argument, replying with an
 // error line on failure.
-func parseUser(ep *netsim.Endpoint, fields [][]byte) (int, bool) {
+func parseUser(ep Conn, fields [][]byte) (int, bool) {
 	if len(fields) != 2 {
 		ep.WriteString("ERR usage: ")
 		ep.Write(fields[0]) // already uppercased

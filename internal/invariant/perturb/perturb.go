@@ -65,6 +65,8 @@ const (
 	ShardSweep   // all-shard sweep before a thief declares a level empty
 	RouteSelect  // cluster ring lookup/route decision before a cross-shard hop (internal/cluster)
 	DrainHandoff // cluster drain: between the ring swap and the old-epoch quiesce/migration
+	WakeDefer    // prio: zero→non-zero Set deferring its broadcast to a coalescer flush
+	WakeFlush    // prio: coalescer between departing and claiming the pending broadcast
 	numPoints
 )
 

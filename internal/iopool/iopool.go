@@ -39,7 +39,10 @@ const DefaultCapacity = 4096
 // Option configures a Pool.
 type Option func(*options)
 
-type options struct{ capacity int }
+type options struct {
+	capacity  int
+	batchWrap func(run func())
+}
 
 // WithCapacity sets the handoff-channel capacity. Submissions beyond
 // it spill to the overflow list (Submit never blocks), so the capacity
@@ -54,6 +57,24 @@ func WithCapacity(n int) Option {
 	}
 }
 
+// WithBatchWrap wraps the execution of every SubmitBatch batch in w:
+// the handler calls w(run) and w must call run() exactly once. The
+// scheduler uses this to coalesce wakeups — run() completes N
+// futures (each setting its promptness bit immediately), and the
+// wrapper issues the single deferred wake when the batch ends.
+func WithBatchWrap(w func(run func())) Option {
+	return func(o *options) { o.batchWrap = w }
+}
+
+// item is one handoff unit: either a single completion (fn) or a
+// batch (fns) that one handler drains serially — a batch stays one
+// FIFO unit, so completions harvested together complete in harvest
+// order.
+type item struct {
+	fn  func()
+	fns []func()
+}
+
 // Pool is a fixed set of I/O handler goroutines draining a FIFO of
 // completion callbacks.
 type Pool struct {
@@ -61,8 +82,13 @@ type Pool struct {
 	// send — Submit's fast path and refill's overflow drain — happens
 	// under mu and is non-blocking, which is what makes Submit safe to
 	// call from a handler callback and keeps cross-submitter FIFO order.
-	ch chan func()
+	ch chan item
 	wg sync.WaitGroup
+
+	// batchWrap, when set, brackets each batch drain (wake
+	// coalescing); batchPool recycles the copied batch slices.
+	batchWrap func(run func())
+	batchPool sync.Pool
 
 	mu     sync.Mutex
 	cond   *sync.Cond // signaled when overflow drains empty after Close
@@ -71,7 +97,7 @@ type Pool struct {
 	// first. While it is non-empty new submissions must append here
 	// (never jump the line into ch); refill moves its head into ch as
 	// handlers free capacity.
-	overflow []func()
+	overflow []item
 
 	// depth counts accepted completions not yet fully processed (in
 	// ch, in overflow, or running in a handler); it is incremented only
@@ -84,6 +110,8 @@ type Pool struct {
 	highWater   atomic.Int64
 	completions atomic.Int64
 	spills      atomic.Int64
+	batches     atomic.Int64
+	batchedFns  atomic.Int64
 }
 
 // New starts a pool with the given number of handler threads (the
@@ -98,28 +126,67 @@ func New(threads int, opts ...Option) *Pool {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	p := &Pool{ch: make(chan func(), o.capacity)}
+	p := &Pool{ch: make(chan item, o.capacity), batchWrap: o.batchWrap}
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < threads; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			for fn := range p.ch {
+			for it := range p.ch {
 				// Receiving freed a channel slot: pull overflow forward
 				// before running the callback so sibling handlers see
 				// the next completion without waiting for this one.
 				p.refill()
-				fn()
-				d := p.depth.Add(-1)
-				if invariant.Enabled {
-					invariant.Checkf(d >= 0,
-						"iopool: depth went negative (%d) after completion", d)
+				if it.fn != nil {
+					it.fn()
+					p.finishOne()
+				} else {
+					p.runBatch(it.fns)
 				}
-				p.completions.Add(1)
 			}
 		}()
 	}
 	return p
+}
+
+// finishOne retires one completion from the depth account.
+func (p *Pool) finishOne() {
+	d := p.depth.Add(-1)
+	if invariant.Enabled {
+		invariant.Checkf(d >= 0,
+			"iopool: depth went negative (%d) after completion", d)
+	}
+	p.completions.Add(1)
+}
+
+// runBatch drains one batch serially (preserving harvest order)
+// inside the batchWrap bracket, then recycles the slice.
+func (p *Pool) runBatch(fns []func()) {
+	p.batches.Add(1)
+	p.batchedFns.Add(int64(len(fns)))
+	run := func() {
+		for i, fn := range fns {
+			fn()
+			fns[i] = nil
+			p.finishOne()
+		}
+	}
+	if p.batchWrap != nil {
+		p.batchWrap(run)
+	} else {
+		run()
+	}
+	fns = fns[:0]
+	p.batchPool.Put(&fns)
+}
+
+// getBatch returns a recycled batch slice with capacity for at least
+// n callbacks.
+func (p *Pool) getBatch(n int) []func() {
+	if bp, _ := p.batchPool.Get().(*[]func()); bp != nil && cap(*bp) >= n {
+		return *bp
+	}
+	return make([]func(), 0, n)
 }
 
 // refill moves queued overflow callbacks into the handoff channel, as
@@ -140,7 +207,7 @@ moving:
 	if moved > 0 {
 		rem := copy(p.overflow, p.overflow[moved:])
 		for i := rem; i < len(p.overflow); i++ {
-			p.overflow[i] = nil // release the moved callbacks' refs
+			p.overflow[i] = item{} // release the moved callbacks' refs
 		}
 		p.overflow = p.overflow[:rem]
 	}
@@ -161,12 +228,42 @@ func (p *Pool) Submit(fn func()) {
 	if invariant.Enabled {
 		perturb.At(perturb.IO)
 	}
+	p.enqueue(item{fn: fn}, 1)
+}
+
+// SubmitBatch enqueues a batch of completion callbacks as ONE
+// handoff unit: one mutex acquisition, one channel send, one handler
+// claim for the whole batch, which is what amortizes the
+// kernel-to-runtime boundary across a poller pass. The batch drains
+// serially on a single handler in slice order (FIFO within the
+// batch, FIFO against other submissions), bracketed by the
+// WithBatchWrap coalescer when configured. fns is copied — the
+// caller may reuse it as soon as SubmitBatch returns. Like Submit it
+// never blocks and is a silent no-op after Close.
+func (p *Pool) SubmitBatch(fns []func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		p.Submit(fns[0])
+		return
+	}
+	if invariant.Enabled {
+		perturb.At(perturb.IO)
+	}
+	batch := append(p.getBatch(len(fns)), fns...)
+	p.enqueue(item{fns: batch}, len(fns))
+}
+
+// enqueue is the shared non-blocking handoff: channel if it has room
+// and no older spilled work exists, overflow otherwise.
+func (p *Pool) enqueue(it item, n int) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return
 	}
-	d := p.depth.Add(1)
+	d := p.depth.Add(int64(n))
 	for {
 		hw := p.highWater.Load()
 		if d <= hw || p.highWater.CompareAndSwap(hw, d) {
@@ -175,7 +272,7 @@ func (p *Pool) Submit(fn func()) {
 	}
 	if len(p.overflow) == 0 {
 		select {
-		case p.ch <- fn:
+		case p.ch <- it:
 			p.mu.Unlock()
 			return
 		default:
@@ -183,7 +280,7 @@ func (p *Pool) Submit(fn func()) {
 	}
 	// Channel full (or older spilled work exists, which must run
 	// first): take the overflow path.
-	p.overflow = append(p.overflow, fn)
+	p.overflow = append(p.overflow, it)
 	p.spills.Add(1)
 	p.mu.Unlock()
 }
@@ -206,6 +303,13 @@ func (p *Pool) Completions() int64 { return p.completions.Load() }
 // means the channel capacity or handler count is undersized.
 func (p *Pool) Spills() int64 { return p.spills.Load() }
 
+// Batches returns the number of SubmitBatch units processed.
+func (p *Pool) Batches() int64 { return p.batches.Load() }
+
+// BatchedFns returns the completions delivered inside batches;
+// BatchedFns/Batches is the realized handoff coalescing factor.
+func (p *Pool) BatchedFns() int64 { return p.batchedFns.Load() }
+
 // Capacity returns the handoff-channel bound.
 func (p *Pool) Capacity() int { return cap(p.ch) }
 
@@ -227,6 +331,12 @@ func (p *Pool) RegisterMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("icilk_io_spills_total",
 		"I/O submissions that overflowed the handoff channel.",
 		func() float64 { return float64(p.Spills()) })
+	reg.CounterFunc("icilk_io_batches_total",
+		"Batched completion handoffs (SubmitBatch units) processed.",
+		func() float64 { return float64(p.Batches()) })
+	reg.CounterFunc("icilk_io_batched_fns_total",
+		"Completion callbacks delivered inside batched handoffs.",
+		func() float64 { return float64(p.BatchedFns()) })
 }
 
 // Close stops accepting work, drains the queue — spilled overflow

@@ -280,3 +280,139 @@ func TestDepthCountsOnlyAccepted(t *testing.T) {
 		t.Fatalf("Completions = %d, want 0", c)
 	}
 }
+
+func TestSubmitBatchFIFOWithinBatch(t *testing.T) {
+	p := New(4) // a batch runs serially on ONE handler regardless of pool width
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	const n = 100
+	wg.Add(n)
+	fns := make([]func(), n)
+	for i := 0; i < n; i++ {
+		i := i
+		fns[i] = func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+	p.SubmitBatch(fns)
+	wg.Wait()
+	p.Close()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; batch FIFO violated", i, v)
+		}
+	}
+	if got := p.Batches(); got != 1 {
+		t.Errorf("Batches = %d, want 1", got)
+	}
+	if got := p.BatchedFns(); got != n {
+		t.Errorf("BatchedFns = %d, want %d", got, n)
+	}
+	if got := p.Completions(); got != n {
+		t.Errorf("Completions = %d, want %d (batched fns count individually)", got, n)
+	}
+	if got := p.Depth(); got != 0 {
+		t.Errorf("Depth = %d after drain, want 0", got)
+	}
+}
+
+func TestSubmitBatchWrap(t *testing.T) {
+	var wraps atomic.Int64
+	var inWrap atomic.Int64
+	p := New(2, WithBatchWrap(func(run func()) {
+		wraps.Add(1)
+		inWrap.Store(1)
+		run()
+		inWrap.Store(0)
+	}))
+	var wg sync.WaitGroup
+	const batches = 8
+	const per = 5
+	wg.Add(batches * per)
+	var outside atomic.Int64
+	for b := 0; b < batches; b++ {
+		fns := make([]func(), per)
+		for i := range fns {
+			fns[i] = func() {
+				if inWrap.Load() == 0 {
+					outside.Add(1)
+				}
+				wg.Done()
+			}
+		}
+		p.SubmitBatch(fns)
+	}
+	wg.Wait()
+	p.Close()
+	if got := wraps.Load(); got != batches {
+		t.Errorf("wrap invoked %d times, want once per batch (%d)", got, batches)
+	}
+	if got := outside.Load(); got != 0 {
+		t.Errorf("%d batched fns ran outside the wrap", got)
+	}
+}
+
+func TestSubmitBatchSingleAndEmpty(t *testing.T) {
+	p := New(1)
+	p.SubmitBatch(nil) // no-op
+	done := make(chan struct{})
+	p.SubmitBatch([]func(){func() { close(done) }}) // degrades to Submit
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("single-fn batch never ran")
+	}
+	if got := p.Batches(); got != 0 {
+		t.Errorf("Batches = %d; single-fn batches must not count (no wrap, no handoff saved)", got)
+	}
+	p.Close()
+}
+
+func TestSubmitBatchAfterCloseIsNoop(t *testing.T) {
+	p := New(2)
+	p.Close()
+	var ran atomic.Bool
+	p.SubmitBatch([]func(){func() { ran.Store(true) }, func() { ran.Store(true) }})
+	time.Sleep(2 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("batch ran after Close")
+	}
+}
+
+// TestSubmitBatchStress races many batching producers against the
+// handlers with -race watching the recycled batch slices.
+func TestSubmitBatchStress(t *testing.T) {
+	p := New(4)
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	const producers = 8
+	const rounds = 200
+	const per = 16
+	wg.Add(producers * rounds * per)
+	for g := 0; g < producers; g++ {
+		go func() {
+			for r := 0; r < rounds; r++ {
+				fns := make([]func(), per)
+				for i := range fns {
+					fns[i] = func() {
+						count.Add(1)
+						wg.Done()
+					}
+				}
+				p.SubmitBatch(fns)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if got := count.Load(); got != producers*rounds*per {
+		t.Fatalf("ran %d of %d", got, producers*rounds*per)
+	}
+	if got := p.Depth(); got != 0 {
+		t.Errorf("Depth = %d after drain", got)
+	}
+}

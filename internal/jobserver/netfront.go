@@ -36,6 +36,19 @@ type NetFrontend struct {
 	ops [4]*opMetrics // per class; nil entries unless RegisterMetrics was called
 }
 
+// Conn is the connection surface the frontend serves: the in-memory
+// netsim.Endpoint and the real-socket netreal.Conn both satisfy it.
+type Conn interface {
+	icilk.Conn
+	WriteString(s string) (int, error)
+	Close() error
+}
+
+// bufferedWriter is the optional write-coalescing switch some
+// transports expose (netsim.Endpoint; netreal.Conn coalesces
+// always).
+type bufferedWriter interface{ BufferWrites() }
+
 // NewNetFrontend wraps a server.
 func NewNetFrontend(srv *Server, rt *icilk.Runtime) *NetFrontend {
 	return &NetFrontend{srv: srv, rt: rt}
@@ -78,20 +91,30 @@ func (nf *NetFrontend) Serve(ln *netsim.Listener) {
 		if err != nil {
 			return
 		}
-		nf.rt.Submit(LevelSW, func(t *icilk.Task) any {
-			nf.handleConn(t, ep)
-			return nil
-		})
+		nf.HandleConn(ep)
 	}
+}
+
+// HandleConn serves one connection (any transport satisfying Conn)
+// as a lowest-priority future routine; the returned future completes
+// when the connection closes. Real-socket servers accept and wrap
+// their net.Conns, then hand them here.
+func (nf *NetFrontend) HandleConn(ep Conn) *icilk.Future {
+	return nf.rt.Submit(LevelSW, func(t *icilk.Task) any {
+		nf.handleConn(t, ep)
+		return nil
+	})
 }
 
 // classNames holds the canonical (lowercase) class names so reply
 // encoding never re-derives a string from the request bytes.
 var classNames = [4]string{"mm", "fib", "sort", "sw"}
 
-func (nf *NetFrontend) handleConn(t *icilk.Task, ep *netsim.Endpoint) {
+func (nf *NetFrontend) handleConn(t *icilk.Task, ep Conn) {
 	defer ep.Close()
-	ep.BufferWrites()
+	if bw, ok := ep.(bufferedWriter); ok {
+		bw.BufferWrites()
+	}
 	lr := nf.rt.NewLineReader(ep)
 	var (
 		fields [][]byte // reused split scratch

@@ -3,6 +3,7 @@ package memcached
 import (
 	"fmt"
 	"io"
+	"net"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -143,10 +144,18 @@ type pendingReq struct {
 	isGet     bool
 }
 
-// lineScanner is a minimal blocking line reader over an endpoint for
+// clientConn is the transport surface the load generator needs; the
+// in-memory netsim.Endpoint and a real net.Conn both satisfy it.
+type clientConn interface {
+	Read(p []byte) (n int, err error)
+	Write(p []byte) (n int, err error)
+	Close() error
+}
+
+// lineScanner is a minimal blocking line reader over a connection for
 // the client side (clients are plain goroutines, outside the runtime).
 type lineScanner struct {
-	ep  *netsim.Endpoint
+	ep  clientConn
 	buf []byte
 	pos int
 }
@@ -194,6 +203,37 @@ func (ls *lineScanner) readLine() ([]byte, error) {
 // overload shows up as queueing delay rather than silently slowing
 // the generator).
 func RunLoad(ln *netsim.Listener, cfg WorkloadConfig) (*LoadResult, error) {
+	return runLoad(cfg, func(i int) (clientConn, byte, error) {
+		ep, err := ln.Dial()
+		if err != nil {
+			return nil, 0, err
+		}
+		return ep, byte(ep.ID), nil
+	})
+}
+
+// RunLoadTCP drives a real-socket server at addr with the same
+// workload and measurement conventions as RunLoad. Dials retry
+// briefly: at thousands of connections the listen backlog can
+// transiently overflow while the accept loop catches up.
+func RunLoadTCP(addr string, cfg WorkloadConfig) (*LoadResult, error) {
+	return runLoad(cfg, func(i int) (clientConn, byte, error) {
+		var lastErr error
+		for attempt := 0; attempt < 100; attempt++ {
+			nc, err := net.Dial("tcp", addr)
+			if err == nil {
+				return nc, byte(i), nil
+			}
+			lastErr = err
+			time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+		}
+		return nil, 0, lastErr
+	})
+}
+
+// runLoad is the transport-independent load loop; dial produces the
+// i-th connection plus a per-connection payload salt.
+func runLoad(cfg WorkloadConfig, dial func(i int) (clientConn, byte, error)) (*LoadResult, error) {
 	cfg.applyDefaults()
 	res := &LoadResult{Latency: stats.NewRecorder(int(cfg.RPS * cfg.Duration.Seconds()))}
 	rootRNG := xrand.New(cfg.Seed)
@@ -201,29 +241,63 @@ func RunLoad(ln *netsim.Listener, cfg WorkloadConfig) (*LoadResult, error) {
 	var sent, completed, errors atomic.Int64
 	var good, late, shedCount atomic.Int64
 	var wg sync.WaitGroup
-	start := time.Now()
-	measureFrom := start.Add(cfg.Warmup)
 	perConnRate := cfg.RPS / float64(cfg.Connections)
 	if perConnRate <= 0 {
 		return nil, fmt.Errorf("memcached: non-positive RPS")
 	}
 	meanGap := time.Duration(float64(time.Second) / perConnRate)
 
-	for c := 0; c < cfg.Connections; c++ {
-		ep, err := ln.Dial()
-		if err != nil {
-			return nil, err
+	// Connect everything before starting the clock: at thousands of
+	// connections a serial dial phase would eat the measurement window
+	// (every sender's deadline is start+Duration). Dials run with
+	// bounded concurrency so the server's accept loop sees a burst it
+	// can absorb.
+	conns := make([]clientConn, cfg.Connections)
+	salts := make([]byte, cfg.Connections)
+	dialErrs := make(chan error, cfg.Connections)
+	sem := make(chan struct{}, 64)
+	var dialWG sync.WaitGroup
+	for i := range conns {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ep, salt, err := dial(i)
+			if err != nil {
+				dialErrs <- err
+				return
+			}
+			conns[i], salts[i] = ep, salt
+		}(i)
+	}
+	dialWG.Wait()
+	select {
+	case err := <-dialErrs:
+		for _, ep := range conns {
+			if ep != nil {
+				ep.Close()
+			}
 		}
+		return nil, err
+	default:
+	}
+
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+
+	for c := 0; c < cfg.Connections; c++ {
+		ep, salt := conns[c], salts[c]
 		rng := rootRNG.Split()
 		zipf := xrand.NewZipf(rng, cfg.ZipfS, uint64(cfg.KeySpace))
 		pending := make(chan pendingReq, 65536)
 
 		// Sender: paced, open-loop.
 		wg.Add(1)
-		go func(ep *netsim.Endpoint) {
+		go func(ep clientConn, salt byte) {
 			defer wg.Done()
 			defer close(pending)
-			val := makeValue(cfg.ValueSize, byte(ep.ID))
+			val := makeValue(cfg.ValueSize, salt)
 			var req []byte // reused request-encoding scratch
 			next := time.Now()
 			deadline := start.Add(cfg.Duration)
@@ -252,19 +326,19 @@ func RunLoad(ln *netsim.Listener, cfg WorkloadConfig) (*LoadResult, error) {
 					req = append(req, '\r', '\n')
 				}
 				pending <- pendingReq{scheduled: next, isGet: isGet}
-				// The endpoint copies what it sends, so req is reusable
-				// as soon as Write returns.
+				// The connection copies (or finishes sending) what it
+				// writes, so req is reusable as soon as Write returns.
 				if _, err := ep.Write(req); err != nil {
 					errors.Add(1)
 					return
 				}
 				sent.Add(1)
 			}
-		}(ep)
+		}(ep, salt)
 
 		// Receiver: parse responses in order, record latency.
 		wg.Add(1)
-		go func(ep *netsim.Endpoint) {
+		go func(ep clientConn) {
 			defer wg.Done()
 			defer ep.Close()
 			ls := &lineScanner{ep: ep}

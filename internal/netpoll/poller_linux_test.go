@@ -1,0 +1,357 @@
+//go:build linux && !icilk_nopoll
+
+package netpoll
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// testConn is a minimal netpoll.Conn over one end of a socketpair:
+// readable events drain one byte at a time and count them; hangups
+// record the forced flag.
+type testConn struct {
+	fd      int
+	batcher Batcher
+
+	drained atomic.Int64
+	eofs    atomic.Int64
+	forced  atomic.Int64
+	onByte  func() // called once per drained byte (may be nil)
+	onEOF   func() // called once per observed EOF (may be nil)
+}
+
+func (c *testConn) PollReadable(d *Desc, forced bool) (func(), Batcher) {
+	if forced {
+		c.forced.Add(1)
+	}
+	var buf [64]byte
+	for {
+		n, err := ReadFD(c.fd, buf[:])
+		if n > 0 {
+			for i := 0; i < n; i++ {
+				c.drained.Add(1)
+				if c.onByte != nil {
+					c.onByte()
+				}
+			}
+			continue
+		}
+		if err == ErrWouldBlock {
+			return nil, nil
+		}
+		// EOF or a terminal error: deregister so the level-triggered
+		// hangup cannot spin the poller.
+		if err == io.EOF {
+			if c.eofs.Add(1) == 1 && c.onEOF != nil {
+				d.Close()
+				fn := c.onEOF
+				return fn, c.batcher
+			}
+		}
+		d.Close()
+		return nil, nil
+	}
+}
+
+func (c *testConn) PollWritable(d *Desc) (func(), Batcher) { return nil, nil }
+
+// pair returns a nonblocking socketpair (read end, write end).
+func pair(t *testing.T) (int, int) {
+	t.Helper()
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		t.Fatalf("socketpair: %v", err)
+	}
+	if err := syscall.SetNonblock(fds[0], true); err != nil {
+		t.Fatalf("setnonblock: %v", err)
+	}
+	return fds[0], fds[1]
+}
+
+// TestPollerDeliversReadable is the basic plumbing check: bytes
+// written to the peer arrive as drain callbacks.
+func TestPollerDeliversReadable(t *testing.T) {
+	g, err := Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	rfd, wfd := pair(t)
+	defer syscall.Close(wfd)
+
+	got := make(chan struct{}, 16)
+	c := &testConn{fd: rfd, onByte: func() { got <- struct{}{} }}
+	d, err := g.Add(rfd, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetReadInterest(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syscall.Write(wfd, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("readable byte never delivered")
+	}
+	d.Close()
+	syscall.Close(rfd)
+}
+
+// TestLazyRegistrationSyscallBudget pins the per-connection epoll_ctl
+// cost: registering and arming is ONE ctl (the lazy ADD carries the
+// initial mask), and CloseWithFD (the close-the-socket-next path)
+// adds none.
+func TestLazyRegistrationSyscallBudget(t *testing.T) {
+	g, err := Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	rfd, wfd := pair(t)
+	defer syscall.Close(wfd)
+
+	c := &testConn{fd: rfd}
+	ctl0 := PollStats.EpollCtls()
+	d, err := g.Add(rfd, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PollStats.EpollCtls() - ctl0; got != 0 {
+		t.Errorf("Add cost %d epoll_ctls, want 0 (lazy)", got)
+	}
+	if err := d.SetReadInterest(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := PollStats.EpollCtls() - ctl0; got != 1 {
+		t.Errorf("Add+arm cost %d epoll_ctls, want 1", got)
+	}
+	if err := d.SetReadInterest(true); err != nil { // no-op re-arm
+		t.Fatal(err)
+	}
+	if got := PollStats.EpollCtls() - ctl0; got != 1 {
+		t.Errorf("redundant arm issued a ctl (total %d)", got)
+	}
+	d.CloseWithFD()
+	syscall.Close(rfd)
+	if got := PollStats.EpollCtls() - ctl0; got != 1 {
+		t.Errorf("CloseWithFD issued a ctl (total %d, want 1)", got)
+	}
+
+	// The explicit-DEL path (fd stays open) costs exactly one more.
+	rfd2, wfd2 := pair(t)
+	defer syscall.Close(wfd2)
+	defer syscall.Close(rfd2)
+	c2 := &testConn{fd: rfd2}
+	ctl1 := PollStats.EpollCtls()
+	d2, err := g.Add(rfd2, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.SetReadInterest(true)
+	d2.Close()
+	if got := PollStats.EpollCtls() - ctl1; got != 2 {
+		t.Errorf("arm+Close cost %d epoll_ctls, want 2 (ADD + DEL)", got)
+	}
+}
+
+// TestPollerHangupForced checks the unmaskable-event path: the peer
+// closing fires a forced readable that drains to EOF and deregisters.
+func TestPollerHangupForced(t *testing.T) {
+	g, err := Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	rfd, wfd := pair(t)
+	defer syscall.Close(rfd)
+
+	eof := make(chan struct{})
+	c := &testConn{fd: rfd}
+	c.onEOF = func() { close(eof) }
+	d, err := g.Add(rfd, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetReadInterest(true)
+	syscall.Write(wfd, []byte{1, 2, 3})
+	syscall.Close(wfd)
+	select {
+	case <-eof:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hangup never delivered EOF")
+	}
+	if got := c.drained.Load(); got != 3 {
+		t.Errorf("drained %d bytes before EOF, want 3", got)
+	}
+}
+
+// recordingBatcher collects submitted batches.
+type recordingBatcher struct {
+	mu      sync.Mutex
+	batches int
+	fns     int
+}
+
+func (b *recordingBatcher) SubmitBatch(fns []func()) {
+	b.mu.Lock()
+	b.batches++
+	b.fns += len(fns)
+	b.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// TestPollerBatchesCompletions checks that completions from one
+// harvest pass are grouped through the Batcher rather than delivered
+// one handoff each.
+func TestPollerBatchesCompletions(t *testing.T) {
+	g, err := Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	const n = 64
+	b := &recordingBatcher{}
+	var delivered atomic.Int64
+	conns := make([]*testConn, n)
+	descs := make([]*Desc, n)
+	for i := 0; i < n; i++ {
+		rfd, wfd := pair(t)
+		c := &testConn{fd: rfd, batcher: b}
+		c.onEOF = func() { delivered.Add(1) }
+		conns[i] = c
+		d, err := g.Add(rfd, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		descs[i] = d
+		// Make the socket ready BEFORE arming: a byte plus a hangup.
+		// Registration is lazy, so no event fires yet.
+		syscall.Write(wfd, []byte{9})
+		syscall.Close(wfd)
+	}
+	// Arm everything back-to-back; the data is already pending, so the
+	// harvest passes see many ready sockets at once.
+	for _, d := range descs {
+		d.SetReadInterest(true)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for delivered.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/%d completions", delivered.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.mu.Lock()
+	batches, fns := b.batches, b.fns
+	b.mu.Unlock()
+	if fns != n {
+		t.Errorf("batched fns = %d, want %d", fns, n)
+	}
+	if batches >= n {
+		t.Errorf("batches = %d for %d completions: no coalescing happened", batches, n)
+	}
+	for i, c := range conns {
+		syscall.Close(c.fd)
+		_ = i
+	}
+}
+
+// TestPollerChurn is the fd-reuse stress: waves of connections
+// register, exchange a byte, and deregister, so fd numbers recycle
+// across Desc lifetimes while the poller dispatches. Run with -race.
+// 512 pairs x 4 waves exercises 2048 connection lifetimes.
+func TestPollerChurn(t *testing.T) {
+	g, err := Open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	const perWave = 512
+	const waves = 4
+	for w := 0; w < waves; w++ {
+		var wg sync.WaitGroup
+		wg.Add(perWave)
+		rfds := make([]int, perWave)
+		wfds := make([]int, perWave)
+		descs := make([]*Desc, perWave)
+		for i := 0; i < perWave; i++ {
+			rfd, wfd := pair(t)
+			rfds[i], wfds[i] = rfd, wfd
+			var once sync.Once
+			c := &testConn{fd: rfd}
+			c.onByte = func() { once.Do(wg.Done) }
+			d, err := g.Add(rfd, c)
+			if err != nil {
+				t.Fatalf("wave %d conn %d: %v", w, i, err)
+			}
+			descs[i] = d
+			if err := d.SetReadInterest(true); err != nil {
+				t.Fatalf("wave %d conn %d arm: %v", w, i, err)
+			}
+		}
+		for i := 0; i < perWave; i++ {
+			if _, err := syscall.Write(wfds[i], []byte{byte(i)}); err != nil {
+				t.Fatalf("wave %d write %d: %v", w, i, err)
+			}
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("wave %d: byte deliveries missing", w)
+		}
+		for i := 0; i < perWave; i++ {
+			descs[i].CloseWithFD()
+			syscall.Close(rfds[i])
+			syscall.Close(wfds[i])
+		}
+	}
+}
+
+// TestDescCloseIdempotent checks both close flavors tolerate
+// repetition and racing each other (the read-terminal/parked-write
+// handshake allows both sides to close).
+func TestDescCloseIdempotent(t *testing.T) {
+	g, err := Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	rfd, wfd := pair(t)
+	defer syscall.Close(rfd)
+	defer syscall.Close(wfd)
+	d, err := g.Add(rfd, &testConn{fd: rfd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetReadInterest(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				d.Close()
+			} else {
+				d.CloseWithFD()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := d.SetReadInterest(true); err != ErrClosed {
+		t.Errorf("arm after close = %v, want ErrClosed", err)
+	}
+}

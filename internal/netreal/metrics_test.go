@@ -1,0 +1,34 @@
+package netreal
+
+import (
+	"strings"
+	"testing"
+
+	"icilk/internal/metrics"
+	"icilk/internal/netpoll"
+)
+
+// TestSyscallMetricsRender checks the exported counter surface: the
+// netreal and netpoll accounts share one icilk_net_syscalls_total
+// family, labeled by op, so syscalls/op rolls up from a single name.
+func TestSyscallMetricsRender(t *testing.T) {
+	st := &Stats{}
+	reg := metrics.NewRegistry()
+	st.RegisterMetrics(reg)
+	netpoll.PollStats.RegisterMetrics(reg)
+
+	out := reg.String()
+	for _, want := range []string{
+		`icilk_net_syscalls_total{op="read"}`,
+		`icilk_net_syscalls_total{op="write"}`,
+		`icilk_net_syscalls_total{op="epoll_wait"}`,
+		`icilk_net_syscalls_total{op="epoll_ctl"}`,
+		`icilk_netpoll_events_total`,
+		`icilk_netpoll_batches_total`,
+		`icilk_netpoll_batched_fns_total`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered metrics missing %s", want)
+		}
+	}
+}

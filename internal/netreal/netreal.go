@@ -29,10 +29,13 @@ package netreal
 import (
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"icilk/internal/metrics"
+	"icilk/internal/netpoll"
 )
 
 // bufferSoftCap pauses the pump when a client floods faster than the
@@ -80,6 +83,8 @@ type Stats struct {
 	conns      atomic.Int64
 	poolHits   atomic.Int64
 	poolMisses atomic.Int64
+	sysReads   atomic.Int64
+	sysWrites  atomic.Int64
 }
 
 // DefaultStats is the process-wide account used by Wrap.
@@ -104,6 +109,18 @@ func (s *Stats) PoolHits() int64 { return s.poolHits.Load() }
 
 // PoolMisses returns how many chunk acquisitions had to allocate.
 func (s *Stats) PoolMisses() int64 { return s.poolMisses.Load() }
+
+// SysReads returns the read syscalls charged to this account. In
+// poller mode and in the Linux raw pump every read(2) is counted
+// exactly (including EAGAIN probes); the portable pump counts one
+// per blocking Read completion, an undercount of the syscalls the Go
+// runtime issues on its behalf.
+func (s *Stats) SysReads() int64 { return s.sysReads.Load() }
+
+// SysWrites returns the write/writev syscalls charged to this
+// account (exact in poller mode; one per net.Conn write call in pump
+// mode).
+func (s *Stats) SysWrites() int64 { return s.sysWrites.Load() }
 
 // getChunk takes a reset chunk from the pool, charging hit/miss
 // accounting to s.
@@ -142,12 +159,62 @@ func (s *Stats) RegisterMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("icilk_net_pool_misses_total",
 		"Read-buffer chunk acquisitions that had to allocate a fresh chunk.",
 		func() float64 { return float64(s.PoolMisses()) })
+	reg.CounterFunc("icilk_net_syscalls_total",
+		"Network data-path syscalls by operation.",
+		func() float64 { return float64(s.SysReads()) },
+		metrics.L("op", "read"))
+	reg.CounterFunc("icilk_net_syscalls_total",
+		"Network data-path syscalls by operation.",
+		func() float64 { return float64(s.SysWrites()) },
+		metrics.L("op", "write"))
+}
+
+// Mode selects how a wrapped connection detects readiness.
+type Mode int
+
+const (
+	// ModeAuto uses the shared epoll poller when the build supports
+	// it and the conn exposes a file descriptor, otherwise the
+	// per-connection pump. The default.
+	ModeAuto Mode = iota
+	// ModePump forces the per-connection pump goroutine (the
+	// portable fallback; on Linux it is rebuilt on syscall.RawConn
+	// so its true read-syscall count is observable).
+	ModePump
+	// ModePoll requests the shared poller, falling back to the pump
+	// if the build or the conn cannot support it.
+	ModePoll
+)
+
+// Options configures WrapOptions.
+type Options struct {
+	// Stats receives the connection's accounting; nil means
+	// DefaultStats.
+	Stats *Stats
+	// Batcher receives poller completion callbacks in per-pass
+	// batches (normally the runtime's iopool). nil runs callbacks
+	// inline on the poller goroutine, which is fine for tests but
+	// forfeits wake coalescing.
+	Batcher netpoll.Batcher
+	// Mode selects pump vs poller; see Mode.
+	Mode Mode
+	// Group overrides the process-shared poller group (tests).
+	Group *netpoll.Group
 }
 
 // Conn adapts a net.Conn to the icilk.Conn interface.
 type Conn struct {
 	nc    net.Conn
 	stats *Stats
+
+	// Poller-mode plumbing (nil/zero in pump mode).
+	pd      *netpoll.Desc
+	batcher netpoll.Batcher
+	rawfd   int
+	rdead   atomic.Bool // read side terminal (poller deregistration handshake)
+	wparked atomic.Bool // wpend non-empty (other half of the handshake)
+
+	rawconn syscall.RawConn // Linux raw pump (exact syscall accounting)
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -157,25 +224,102 @@ type Conn struct {
 	rerr       error  // terminal read error (io.EOF after drain)
 	notify     func() // armed one-shot readiness callback
 	closed     bool
+	paused     bool // poller mode: read interest dropped for backpressure
+	detached   bool // poller mode: deregistered mid-backlog; consumer drives the drain
 
-	wmu  sync.Mutex
-	wbuf []byte      // coalesced pending writes
-	vec  net.Buffers // reusable writev vector
-	werr error       // sticky write error
+	wmu     sync.Mutex
+	wbuf    []byte      // coalesced pending writes
+	wpend   []byte      // poller mode: bytes parked awaiting EPOLLOUT
+	wnotify func()      // poller mode: one-shot callback when wpend drains
+	vec     net.Buffers // reusable writev vector
+	werr    error       // sticky write error
+	dead    bool        // poller mode: no further raw-fd writes (closing)
 }
 
-// Wrap starts the read pump over nc and returns the adapter, charging
-// its accounting to DefaultStats.
-func Wrap(nc net.Conn) *Conn { return WrapStats(nc, DefaultStats) }
+// Wrap adapts nc with default options (shared poller when supported,
+// pump otherwise), charging accounting to DefaultStats.
+func Wrap(nc net.Conn) *Conn { return WrapOptions(nc, Options{}) }
 
-// WrapStats starts the read pump over nc, charging accounting to
-// stats.
+// WrapStats adapts nc with default mode selection, charging
+// accounting to stats.
 func WrapStats(nc net.Conn, stats *Stats) *Conn {
-	c := &Conn{nc: nc, stats: stats}
+	return WrapOptions(nc, Options{Stats: stats})
+}
+
+// WrapOptions adapts nc according to o. Mode selection degrades
+// gracefully: the poller requires netpoll.Supported and a conn that
+// implements syscall.Conn (net.Pipe does not), and otherwise the
+// per-connection pump takes over.
+func WrapOptions(nc net.Conn, o Options) *Conn {
+	stats := o.Stats
+	if stats == nil {
+		stats = DefaultStats
+	}
+	c := &Conn{nc: nc, stats: stats, rawfd: -1}
 	c.cond = sync.NewCond(&c.mu)
 	stats.conns.Add(1)
+
+	sc, _ := nc.(syscall.Conn)
+	if o.Mode != ModePump && netpoll.Supported && sc != nil {
+		g := o.Group
+		if g == nil {
+			g = sharedGroup()
+		}
+		if g != nil && c.startPoll(g, sc, o.Batcher) {
+			return c
+		}
+	}
+	if sc != nil && c.startRawPump(sc) {
+		return c
+	}
 	go c.pump()
 	return c
+}
+
+// pollShards configures the size of the lazily opened shared poller
+// group; see SetPollShards.
+var (
+	pollMu     sync.Mutex
+	pollShards int
+	pollGroup  *netpoll.Group
+	pollFailed bool
+)
+
+// SetPollShards sets the shard count used when the process-shared
+// poller group is first opened (default min(4, GOMAXPROCS)). It has
+// no effect once the group exists; call it at startup, before the
+// first Wrap.
+func SetPollShards(n int) {
+	pollMu.Lock()
+	pollShards = n
+	pollMu.Unlock()
+}
+
+// sharedGroup lazily opens the process-shared poller group, or
+// returns nil if this build cannot poll.
+func sharedGroup() *netpoll.Group {
+	if !netpoll.Supported {
+		return nil
+	}
+	pollMu.Lock()
+	defer pollMu.Unlock()
+	if pollGroup != nil || pollFailed {
+		return pollGroup
+	}
+	n := pollShards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 4 {
+			n = 4
+		}
+	}
+	g, err := netpoll.Open(n)
+	if err != nil {
+		pollFailed = true
+		return nil
+	}
+	pollGroup = g
+	return g
 }
 
 // syncAcct reconciles stats.buffered with this connection's current
@@ -213,6 +357,7 @@ func (c *Conn) pump() {
 		c.mu.Unlock()
 
 		n, err := c.nc.Read(cur.data[w0:])
+		c.stats.sysReads.Add(1) // approximate: one per blocking Read
 
 		c.mu.Lock()
 		if n > 0 {
@@ -298,6 +443,9 @@ func (c *Conn) TryRead(p []byte) (int, error) {
 		} else if c.buffered <= bufferSoftCap {
 			c.cond.Broadcast()
 		}
+		if c.paused && c.buffered <= bufferSoftCap {
+			c.resumeReadsLocked()
+		}
 		c.syncAcct()
 		return n, nil
 	}
@@ -347,7 +495,14 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return 0, c.werr
 	}
 	if len(p) >= writeVecThreshold {
+		if c.pd != nil {
+			if err := c.flushPollLocked(p); err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
 		if len(c.wbuf) == 0 {
+			c.stats.sysWrites.Add(1)
 			if _, err := c.nc.Write(p); err != nil {
 				c.werr = err
 				return 0, err
@@ -355,6 +510,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 			return len(p), nil
 		}
 		c.vec = append(c.vec[:0], c.wbuf, p)
+		c.stats.sysWrites.Add(1)
 		if _, err := c.vec.WriteTo(c.nc); err != nil {
 			c.werr = err
 			c.wbuf = c.wbuf[:0]
@@ -398,9 +554,13 @@ func (c *Conn) flushLocked() error {
 	if c.werr != nil {
 		return c.werr
 	}
+	if c.pd != nil {
+		return c.flushPollLocked(nil)
+	}
 	if len(c.wbuf) == 0 {
 		return nil
 	}
+	c.stats.sysWrites.Add(1)
 	_, err := c.nc.Write(c.wbuf)
 	c.wbuf = c.wbuf[:0]
 	if err != nil {
@@ -409,8 +569,13 @@ func (c *Conn) flushLocked() error {
 	return err
 }
 
-// Close flushes pending writes and shuts the socket and the pump
-// down. Already-buffered reads remain consumable via TryRead.
+// Close flushes pending writes and shuts the socket and its
+// readiness source (pump goroutine or poller registration) down.
+// Already-buffered reads remain consumable via TryRead. In poller
+// mode any bytes still parked behind a full kernel buffer are given
+// one bounded blocking drain (closeDrainTimeout) before the socket
+// closes, so a reply written immediately before Close is not
+// silently dropped.
 func (c *Conn) Close() error {
 	c.Flush()
 	c.mu.Lock()
@@ -421,5 +586,8 @@ func (c *Conn) Close() error {
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	if c.pd != nil {
+		c.closePoll()
+	}
 	return c.nc.Close()
 }

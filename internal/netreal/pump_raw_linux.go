@@ -1,0 +1,106 @@
+//go:build linux
+
+package netreal
+
+import (
+	"io"
+	"syscall"
+)
+
+// The Linux pump is rebuilt on syscall.RawConn so every read(2) it
+// issues is counted in Stats — including the EAGAIN probe the Go
+// runtime pays before parking a blocking Read. That makes the
+// pump-vs-poller syscalls/op comparison honest: the pump's steady
+// state is ~2 reads per wakeup (probe + data), the poller's is ~1
+// (event-driven, no probe) plus an epoll_wait amortized over the
+// whole harvest.
+
+// startRawPump starts the syscall-counting pump over sc. Returns
+// false (caller uses the portable pump) only if the conn refuses a
+// RawConn.
+func (c *Conn) startRawPump(sc syscall.Conn) bool {
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	c.rawconn = rc
+	go c.pumpRaw()
+	return true
+}
+
+// pumpRaw mirrors pump() with the blocking nc.Read replaced by a
+// RawConn read loop: try a nonblocking read, park in the runtime
+// poller on EAGAIN, retry — each attempt counted.
+func (c *Conn) pumpRaw() {
+	for {
+		c.mu.Lock()
+		cur := c.tail
+		if cur == nil || cur.w == chunkSize {
+			cur = c.stats.getChunk()
+			if c.tail == nil {
+				c.head, c.tail = cur, cur
+			} else {
+				c.tail.next = cur
+				c.tail = cur
+			}
+		}
+		w0 := cur.w
+		c.mu.Unlock()
+
+		var n int
+		var rerr error
+		err := c.rawconn.Read(func(fd uintptr) bool {
+			for {
+				nn, e := syscall.Read(int(fd), cur.data[w0:])
+				c.stats.sysReads.Add(1)
+				switch e {
+				case nil:
+					if nn <= 0 {
+						rerr = io.EOF
+					} else {
+						n = nn
+					}
+					return true
+				case syscall.EAGAIN:
+					return false // park in the runtime poller
+				case syscall.EINTR:
+					continue
+				default:
+					rerr = e
+					return true
+				}
+			}
+		})
+		if err != nil && rerr == nil && n == 0 {
+			rerr = err // conn closed under the pump
+		}
+
+		c.mu.Lock()
+		if n > 0 {
+			cur.w = w0 + n
+			c.buffered += n
+			c.stats.readBytes.Add(int64(n))
+			c.syncAcct()
+		}
+		if rerr != nil {
+			c.rerr = rerr
+		}
+		fn := c.notify
+		c.notify = nil
+		c.cond.Broadcast()
+		if c.buffered > bufferSoftCap && c.rerr == nil && !c.closed {
+			c.stats.pauses.Add(1)
+			for c.buffered > bufferSoftCap && c.rerr == nil && !c.closed {
+				c.cond.Wait()
+			}
+		}
+		stop := c.rerr != nil || c.closed
+		c.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+		if stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package netreal
+
+import "syscall"
+
+// startRawPump is Linux-only; other platforms use the portable
+// blocking pump (approximate syscall accounting).
+func (c *Conn) startRawPump(sc syscall.Conn) bool { return false }

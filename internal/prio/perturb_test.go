@@ -90,3 +90,78 @@ func TestPerturbLostWakeup(t *testing.T) {
 		})
 	}
 }
+
+// TestPerturbCoalescedWakeLoss is the lost-wakeup model test for wake
+// coalescing: stormers Set both inside and outside Coalesce brackets
+// while perturbation stretches the WakeDefer window (between the bit
+// Or and the coalescer re-check) and the WakeFlush window (between
+// the coalescer count decrement and the pending claim) — exactly the
+// two races the pending.Swap handshake must win. The invariant is
+// unchanged: no sleeper stays blocked while the field is stably
+// non-zero.
+func TestPerturbCoalescedWakeLoss(t *testing.T) {
+	for _, seed := range perturb.Seeds([]uint64{0x1, 0xdecade, 0xfeedbeef}) {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			perturb.Enable(seed)
+			defer perturb.Disable()
+
+			b := New()
+			const nSleepers = 4
+			var wg sync.WaitGroup
+			for i := 0; i < nSleepers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						if _, ok := b.WaitNonZero(nil); !ok {
+							return
+						}
+						if lvl, ok := b.Highest(); ok {
+							b.DoubleCheckClear(lvl, func() bool { return true })
+						}
+					}
+				}()
+			}
+
+			const stormers = 3
+			const rounds = 200
+			var swg sync.WaitGroup
+			for s := 0; s < stormers; s++ {
+				swg.Add(1)
+				go func(id int) {
+					defer swg.Done()
+					for r := 0; r < rounds; r++ {
+						lvl := (id*7 + r) % MaxLevels
+						if r%2 == 0 {
+							// A completion batch: several Sets, one flush.
+							b.Coalesce(func() {
+								b.Set(lvl)
+								b.Set((lvl + 1) % MaxLevels)
+							})
+						} else {
+							b.Set(lvl)
+						}
+						if r%3 == 0 {
+							b.DoubleCheckClear(lvl, func() bool { return r%5 != 0 })
+						}
+						b.CheckNoSleeperStranded()
+					}
+				}(s)
+			}
+			swg.Wait()
+
+			// End stably non-zero: every sleeper must leave the gate.
+			b.Set(11)
+			b.CheckNoSleeperStranded()
+
+			b.Stop()
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("Stop stranded a sleeper (seed %#x, coalesced=%d)", seed, b.CoalescedWakes())
+			}
+		})
+	}
+}

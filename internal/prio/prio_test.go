@@ -176,3 +176,122 @@ func TestConcurrentSetClear(t *testing.T) {
 		}
 	}
 }
+
+// TestCoalesceDefersBroadcast checks the wake-coalescing contract: a
+// Set inside a Coalesce bracket makes the bit globally visible at
+// once (promptness decisions stay exact) but the sleeper-waking
+// broadcast is absorbed into the bracket's flush.
+func TestCoalesceDefersBroadcast(t *testing.T) {
+	b := New()
+	woken := make(chan struct{})
+	go func() {
+		b.WaitNonZero(nil)
+		close(woken)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for b.Sleepers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	b.Coalesce(func() {
+		if !b.Set(5) {
+			t.Error("zero->non-zero Set must report the transition")
+		}
+		if !b.IsSet(5) {
+			t.Error("bit must be visible inside the bracket")
+		}
+	})
+	select {
+	case <-woken:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Coalesce flush never woke the sleeper")
+	}
+	if b.CoalescedWakes() == 0 {
+		t.Error("wake was not recorded as coalesced")
+	}
+}
+
+// TestCoalesceSetHammer races bracketed and bare Sets against
+// sleepers and clearing thieves: the two-load pending handshake must
+// never lose the zero->non-zero broadcast (a loss shows up as Stop
+// stranding a sleeper, or a sleeper stuck while the field is
+// non-zero). Run with -race.
+func TestCoalesceSetHammer(t *testing.T) {
+	b := New()
+	const nSleepers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < nSleepers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := b.WaitNonZero(nil); !ok {
+					return
+				}
+				if lvl, ok := b.Highest(); ok {
+					b.DoubleCheckClear(lvl, func() bool { return true })
+				}
+			}
+		}()
+	}
+
+	const stormers = 4
+	const rounds = 2000
+	var swg sync.WaitGroup
+	for s := 0; s < stormers; s++ {
+		swg.Add(1)
+		go func(id int) {
+			defer swg.Done()
+			for r := 0; r < rounds; r++ {
+				lvl := (id*13 + r) % MaxLevels
+				if r%2 == 0 {
+					b.Coalesce(func() { b.Set(lvl) })
+				} else {
+					b.Set(lvl)
+				}
+				if r%3 == 0 {
+					b.DoubleCheckClear(lvl, func() bool { return r%5 != 0 })
+				}
+			}
+		}(s)
+	}
+	swg.Wait()
+
+	b.Stop()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("Stop stranded a sleeper (coalesced=%d)", b.CoalescedWakes())
+	}
+}
+
+// TestCoalesceNested checks that nested brackets flush exactly one
+// broadcast and never strand the pending flag.
+func TestCoalesceNested(t *testing.T) {
+	b := New()
+	b.Coalesce(func() {
+		b.Coalesce(func() {
+			b.Set(9)
+		})
+		// Inner flush ran with the outer bracket still open; either it
+		// delivered the broadcast or the outer flush will.
+	})
+	if b.pending.Load() {
+		t.Error("pending flag stranded after nested flush")
+	}
+	woken := make(chan struct{})
+	go func() {
+		b.WaitNonZero(nil)
+		close(woken)
+	}()
+	select {
+	case <-woken: // field is non-zero; returns immediately
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitNonZero stuck with bit set")
+	}
+}

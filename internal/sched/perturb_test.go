@@ -156,3 +156,62 @@ func TestPerturbIOFutures(t *testing.T) {
 		}
 	}
 }
+
+// TestPerturbCoalescedWakes drives I/O-future completions through
+// CoalesceWakes brackets — the runtime path a shared-poller batch
+// takes — while perturbation widens the WakeDefer/WakeFlush windows
+// in the bitfield's deferred-broadcast handshake. A lost wakeup
+// leaves a worker asleep with completed work pending and the run
+// deadlocks.
+func TestPerturbCoalescedWakes(t *testing.T) {
+	for _, seed := range perturb.Seeds([]uint64{0x1, 0xdecade, 0xfeedbeef}) {
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			rt := newTestRuntime(t, Config{Workers: 2, Levels: 2, Policy: Prompt})
+			perturb.Enable(seed)
+			defer perturb.Disable()
+
+			const requests = 32
+			const batchSize = 4
+			pending := make(chan *Future, requests)
+			completerDone := make(chan struct{})
+			go func() {
+				defer close(completerDone)
+				batch := make([]*Future, 0, batchSize)
+				deliver := func() {
+					rt.CoalesceWakes(func() {
+						for _, f := range batch {
+							f.Complete(3)
+						}
+					})
+					batch = batch[:0]
+				}
+				for f := range pending {
+					batch = append(batch, f)
+					if len(batch) == batchSize {
+						deliver()
+					}
+				}
+				deliver()
+			}()
+
+			var futs []*Future
+			var sum atomic.Int64
+			for i := 0; i < requests; i++ {
+				lvl := i % 2
+				futs = append(futs, rt.SubmitFuture(lvl, func(task *Task) any {
+					iof := task.Runtime().NewIOFuture()
+					pending <- iof
+					v := iof.Get(task).(int)
+					sum.Add(int64(v + fib(task, 4)))
+					return nil
+				}))
+			}
+			waitAll(t, futs, 2*time.Minute)
+			close(pending)
+			<-completerDone
+			if got, want := sum.Load(), int64(requests*(3+3)); got != want { // fib(4)=3
+				t.Fatalf("sum = %d, want %d", got, want)
+			}
+		})
+	}
+}

@@ -671,3 +671,17 @@ func (w *worker) execute(n *node) {
 		}
 	}
 }
+
+// CoalesceWakes runs fn with scheduler wakeups coalesced: futures
+// completed inside fn set their promptness-bitfield bits immediately
+// (scheduling stays exact), but the zero→non-zero sleeper broadcast
+// is deferred and issued at most once when fn returns. The I/O pool
+// brackets each completion batch with it, so a poller pass that
+// resumes N tasks crosses the futex boundary once instead of N
+// times. The deferral is bounded by fn's own execution, preserving
+// the promptness bound up to one batch-drain.
+func (rt *Runtime) CoalesceWakes(fn func()) { rt.bits.Coalesce(fn) }
+
+// CoalescedWakes reports how many sleeper broadcasts were absorbed
+// into CoalesceWakes flushes instead of issued inline.
+func (rt *Runtime) CoalescedWakes() int64 { return rt.bits.CoalescedWakes() }

@@ -25,6 +25,16 @@ type Conn interface {
 	Flush() error
 }
 
+// poolRoutedConn is the capability a connection advertises when its
+// armed readiness callbacks are already delivered through the
+// runtime's I/O handler threads (shared-poller connections batch
+// them there). For such connections the read path completes the
+// future directly inside the callback instead of re-submitting it —
+// the completion would otherwise cross the I/O pool twice.
+type poolRoutedConn interface {
+	CompletesViaPool() bool
+}
+
 // Read reads from c into p with synchronous semantics but
 // asynchronous performance: if no data is available the calling
 // task's deque suspends on an I/O future (freeing the worker) and
@@ -32,6 +42,10 @@ type Conn interface {
 // I/O-future read — the primitive that let the Memcached port delete
 // its event-loop state machine.
 func (r *Runtime) Read(t *Task, c Conn, p []byte) (int, error) {
+	direct := false
+	if pc, ok := c.(poolRoutedConn); ok {
+		direct = pc.CompletesViaPool()
+	}
 	for {
 		n, err := c.TryRead(p)
 		if n > 0 || err != nil {
@@ -43,7 +57,11 @@ func (r *Runtime) Read(t *Task, c Conn, p []byte) (int, error) {
 		// on the handler's next write; the read side proceeds.
 		c.Flush()
 		f := r.rt.NewIOFuture()
-		c.ArmRead(func() { r.CompleteIO(f, nil) })
+		if direct {
+			c.ArmRead(func() { f.Complete(nil) })
+		} else {
+			c.ArmRead(func() { r.CompleteIO(f, nil) })
+		}
 		f.Get(t)
 	}
 }
