@@ -67,6 +67,7 @@ const (
 	DrainHandoff // cluster drain: between the ring swap and the old-epoch quiesce/migration
 	WakeDefer    // prio: zero→non-zero Set deferring its broadcast to a coalescer flush
 	WakeFlush    // prio: coalescer between departing and claiming the pending broadcast
+	LoopSplit    // data-parallel split decision: between a loop frame's spawn and its continuation (the window a thief steals the other half in)
 	numPoints
 )
 

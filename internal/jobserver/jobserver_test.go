@@ -43,6 +43,59 @@ func TestMMMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestMMOddSizes covers matrix edges that do not divide the tile
+// size, where the tile-grid loop's boundary clamps do the work the
+// old power-of-two recursion never had to.
+func TestMMOddSizes(t *testing.T) {
+	rt := newRT(t, icilk.Prompt)
+	for _, n := range []int{1, 8, 17, 40, 100} {
+		a, b := randomMatrix(n, uint64(n)), randomMatrix(n, uint64(n+1))
+		got := rt.Run(func(task *icilk.Task) any { return MM(task, a, b, n) }).([]float64)
+		want := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				for j := 0; j < n; j++ {
+					want[i*n+j] += a[i*n+k] * b[k*n+j]
+				}
+			}
+		}
+		for i := range want {
+			d := got[i] - want[i]
+			if d < -1e-9 || d > 1e-9 {
+				t.Fatalf("n=%d: C[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSortAdversarialInputs drives the parallel merge's pivot search
+// through heavy ties and pre-ordered runs, where a wrong lower-bound
+// split would misplace equal elements.
+func TestSortAdversarialInputs(t *testing.T) {
+	rt := newRT(t, icilk.Prompt)
+	const n = 50000
+	inputs := map[string]func(i int) int64{
+		"sorted":   func(i int) int64 { return int64(i) },
+		"reversed": func(i int) int64 { return int64(n - i) },
+		"constant": func(int) int64 { return 7 },
+		"twoVals":  func(i int) int64 { return int64(i & 1) },
+	}
+	for name, gen := range inputs {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = gen(i)
+		}
+		want := append([]int64(nil), xs...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		rt.Run(func(task *icilk.Task) any { Sort(task, xs); return nil })
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("%s: xs[%d] = %d, want %d", name, i, xs[i], want[i])
+			}
+		}
+	}
+}
+
 func TestFibMatchesSequential(t *testing.T) {
 	rt := newRT(t, icilk.Prompt)
 	got := rt.Run(func(task *icilk.Task) any { return Fib(task, 20) }).(int64)

@@ -32,46 +32,55 @@ var OpNames = []string{"mm", "fib", "sort", "sw"}
 
 // ---- mm: blocked matrix multiplication -----------------------------
 
-// MM multiplies two n×n matrices with 2×2 recursive decomposition,
-// spawning quadrant subproblems above the base-case threshold.
+// mmTile is the output-tile edge (and k-blocking factor), sized like
+// the old recursion's base case so the microkernel's cache behavior is
+// unchanged.
+const mmTile = 16
+
+// MM multiplies two n×n matrices with a data-parallel loop over the
+// output tile grid: every mmTile×mmTile tile of C is independent, so
+// one For covers the whole product with no cross-iteration syncs —
+// where the old 2×2 recursion needed a sync barrier between its two
+// accumulation rounds, halving the available parallelism near the
+// root. Within a tile, k advances in ascending blocks, the same
+// per-element accumulation order as the recursion, so results are
+// bitwise identical.
 func MM(t *icilk.Task, a, b []float64, n int) []float64 {
 	c := make([]float64, n*n)
-	mmRec(t, a, b, c, n, 0, 0, 0, 0, 0, 0, n)
+	nt := (n + mmTile - 1) / mmTile
+	icilk.For(t, 0, nt*nt, 1, func(tile int) {
+		mmTileCompute(a, b, c, n, tile/nt, tile%nt)
+	})
 	return c
 }
 
-const mmBase = 16
-
-// mmRec computes C[ci..ci+m, cj..cj+m] += A[ai.., aj..] * B[bi.., bj..]
-// over m×m blocks of row-major n×n matrices.
-func mmRec(t *icilk.Task, a, b, c []float64, n, ai, aj, bi, bj, ci, cj, m int) {
-	if m <= mmBase {
-		for i := 0; i < m; i++ {
-			for k := 0; k < m; k++ {
-				av := a[(ai+i)*n+aj+k]
-				row := (ci+i)*n + cj
-				brow := (bi+k)*n + bj
-				for j := 0; j < m; j++ {
+// mmTileCompute accumulates output tile (ti, tj): the full dot product
+// of A's block row ti with B's block column tj.
+func mmTileCompute(a, b, c []float64, n, ti, tj int) {
+	i0, i1 := ti*mmTile, (ti+1)*mmTile
+	j0, j1 := tj*mmTile, (tj+1)*mmTile
+	if i1 > n {
+		i1 = n
+	}
+	if j1 > n {
+		j1 = n
+	}
+	for k0 := 0; k0 < n; k0 += mmTile {
+		k1 := k0 + mmTile
+		if k1 > n {
+			k1 = n
+		}
+		for i := i0; i < i1; i++ {
+			row := i*n + j0
+			for k := k0; k < k1; k++ {
+				av := a[i*n+k]
+				brow := k*n + j0
+				for j := 0; j < j1-j0; j++ {
 					c[row+j] += av * b[brow+j]
 				}
 			}
 		}
-		return
 	}
-	h := m / 2
-	// First half-products of the four quadrants in parallel…
-	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai, aj, bi, bj, ci, cj, h) })
-	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai, aj, bi, bj+h, ci, cj+h, h) })
-	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai+h, aj, bi, bj, ci+h, cj, h) })
-	mmRec(t, a, b, c, n, ai+h, aj, bi, bj+h, ci+h, cj+h, h)
-	t.Sync()
-	// …then the second half-products (they accumulate into the same
-	// quadrants, so the two rounds are separated by the sync).
-	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai, aj+h, bi+h, bj, ci, cj, h) })
-	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai, aj+h, bi+h, bj+h, ci, cj+h, h) })
-	t.Spawn(func(ct *icilk.Task) { mmRec(ct, a, b, c, n, ai+h, aj+h, bi+h, bj, ci+h, cj, h) })
-	mmRec(t, a, b, c, n, ai+h, aj+h, bi+h, bj+h, ci+h, cj+h, h)
-	t.Sync()
 }
 
 // ---- fib: spawn tree ------------------------------------------------
@@ -102,8 +111,15 @@ func fibSeq(n int) int64 {
 
 const sortBase = 512
 
-// Sort sorts xs in place with parallel mergesort (parallel recursion,
-// sequential merge).
+// mergeBase is the sequential cutoff of the parallel merge: below it
+// the binary-search splitting costs more than it recovers.
+const mergeBase = 2048
+
+// Sort sorts xs in place with parallel mergesort: the recursion is a
+// ParDo pair (each half joins in its own frame, so one half's steal
+// never serializes the other's sub-syncs) and the merge itself is
+// parallel — the old sequential merge made the final combine a serial
+// O(n) bottleneck on the critical path.
 func Sort(t *icilk.Task, xs []int64) {
 	tmp := make([]int64, len(xs))
 	mergesort(t, xs, tmp)
@@ -115,10 +131,68 @@ func mergesort(t *icilk.Task, xs, tmp []int64) {
 		return
 	}
 	mid := len(xs) / 2
-	t.Spawn(func(ct *icilk.Task) { mergesort(ct, xs[:mid], tmp[:mid]) })
-	mergesort(t, xs[mid:], tmp[mid:])
-	t.Sync()
-	merge(xs, mid, tmp)
+	icilk.ParDo(t,
+		func(lt *icilk.Task) { mergesort(lt, xs[:mid], tmp[:mid]) },
+		func(rt *icilk.Task) { mergesort(rt, xs[mid:], tmp[mid:]) })
+	copy(tmp, xs)
+	parMerge(t, tmp[:mid], tmp[mid:], xs)
+}
+
+// parMerge merges sorted runs a and b into out (len(out) =
+// len(a)+len(b)) by divide and conquer: split the larger run at its
+// midpoint, binary-search the pivot's rank in the smaller run, and
+// merge the two independent sub-pairs as a ParDo pair. Span drops from
+// O(n) to O(log² n).
+func parMerge(t *icilk.Task, a, b, out []int64) {
+	if len(a) < len(b) {
+		// Swapping is value-safe for int64 runs: ties between the runs
+		// produce identical elements either way.
+		a, b = b, a
+	}
+	if len(a)+len(b) <= mergeBase || len(b) == 0 {
+		mergeRuns(a, b, out)
+		return
+	}
+	ma := len(a) / 2
+	// Lower bound of the pivot in b: everything left of it is < pivot,
+	// everything right of it ≥ pivot, so the sub-merges partition the
+	// value space and out is globally sorted.
+	mb := lowerBound(b, a[ma])
+	icilk.ParDo(t,
+		func(lt *icilk.Task) { parMerge(lt, a[:ma], b[:mb], out[:ma+mb]) },
+		func(rt *icilk.Task) { parMerge(rt, a[ma:], b[mb:], out[ma+mb:]) })
+}
+
+// lowerBound returns the first index i with xs[i] >= v (len(xs) if
+// none).
+func lowerBound(xs []int64, v int64) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// mergeRuns is the sequential base merge of two sorted runs into out.
+func mergeRuns(a, b, out []int64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
 }
 
 func insertionSort(xs []int64) {
@@ -130,31 +204,6 @@ func insertionSort(xs []int64) {
 			j--
 		}
 		xs[j+1] = v
-	}
-}
-
-func merge(xs []int64, mid int, tmp []int64) {
-	copy(tmp, xs)
-	i, j, k := 0, mid, 0
-	for i < mid && j < len(xs) {
-		if tmp[i] <= tmp[j] {
-			xs[k] = tmp[i]
-			i++
-		} else {
-			xs[k] = tmp[j]
-			j++
-		}
-		k++
-	}
-	for i < mid {
-		xs[k] = tmp[i]
-		i++
-		k++
-	}
-	for j < len(xs) {
-		xs[k] = tmp[j]
-		j++
-		k++
 	}
 }
 

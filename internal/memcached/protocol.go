@@ -238,6 +238,12 @@ func Execute(s *Store, r *Request) (reply []byte, quit bool) {
 			s.Stats.Reset()
 			return []byte("RESET\r\n"), false
 		}
+		if len(r.Keys) > 0 && r.Keys[0] == "cachedump" {
+			if len(r.Keys) != 3 {
+				return []byte(replyBadCachedump), false
+			}
+			return cachedumpAppend(nil, s, r.Keys[1], r.Keys[2]), false
+		}
 		return statsReply(s), false
 
 	case "lru_crawler":
@@ -284,6 +290,76 @@ func Execute(s *Store, r *Request) (reply []byte, quit bool) {
 		return nil, true
 	}
 	return []byte(replyError), false
+}
+
+// replyBadCachedump rejects malformed "stats cachedump" argument
+// lists; the connection stays usable.
+const replyBadCachedump = "CLIENT_ERROR stats cachedump requires <shard|all> <limit>\r\n"
+
+// cachedumpArgs validates and resolves the "stats cachedump
+// <shard|all> <limit>" arguments to the shard list to walk and the
+// global entry cap (0 = unlimited). Both protocol paths and the
+// parallel server intercept share it, so the three agree on what is
+// and is not a well-formed dump request.
+func cachedumpArgs(s *Store, shardSel, limitStr string) (shards []int, limit int, ok bool) {
+	limit, err := strconv.Atoi(limitStr)
+	if err != nil || limit < 0 {
+		return nil, 0, false
+	}
+	if shardSel == "all" {
+		shards = make([]int, s.Shards())
+		for i := range shards {
+			shards[i] = i
+		}
+		return shards, limit, true
+	}
+	id, err := strconv.Atoi(shardSel)
+	if err != nil || id < 0 || id >= s.Shards() {
+		return nil, 0, false
+	}
+	return []int{id}, limit, true
+}
+
+// appendDumpEntries renders per-shard dump snapshots (in the given
+// shard order) as "ITEM <key> [<size> b; <expiry> s]" lines with the
+// global limit applied, ending with END. The rendering is shared by
+// the sequential executors and the parallel intercept, so a dump's
+// bytes are identical however it was gathered.
+func appendDumpEntries(dst []byte, perShard [][]DumpEntry, limit int) []byte {
+	n := 0
+	for _, entries := range perShard {
+		for _, e := range entries {
+			if limit > 0 && n >= limit {
+				break
+			}
+			dst = append(dst, "ITEM "...)
+			dst = append(dst, e.Key...)
+			dst = append(dst, " ["...)
+			dst = strconv.AppendInt(dst, int64(e.Size), 10)
+			dst = append(dst, " b; "...)
+			dst = strconv.AppendInt(dst, e.ExpireAt, 10)
+			dst = append(dst, " s]\r\n"...)
+			n++
+		}
+	}
+	return append(dst, replyEnd...)
+}
+
+// cachedumpAppend executes "stats cachedump" sequentially: snapshot
+// the selected shards in order, render, done. The ICilk server
+// intercepts the same request shape and gathers the shard snapshots
+// in parallel instead (see ICilkServer.cachedumpParallel); the reply
+// bytes are identical by construction.
+func cachedumpAppend(dst []byte, s *Store, shardSel, limitStr string) []byte {
+	shards, limit, ok := cachedumpArgs(s, shardSel, limitStr)
+	if !ok {
+		return append(dst, replyBadCachedump...)
+	}
+	perShard := make([][]DumpEntry, len(shards))
+	for i, si := range shards {
+		perShard[i] = s.DumpShard(si, limit)
+	}
+	return appendDumpEntries(dst, perShard, limit)
 }
 
 // statsReply renders the "stats" command output.

@@ -408,6 +408,12 @@ func ExecuteAppend(s *Store, r *RequestB, dst []byte) (out []byte, quit bool) {
 			s.Stats.Reset()
 			return append(dst, "RESET\r\n"...), false
 		}
+		if len(r.Keys) > 0 && string(r.Keys[0]) == "cachedump" {
+			if len(r.Keys) != 3 {
+				return append(dst, replyBadCachedump...), false
+			}
+			return cachedumpAppend(dst, s, string(r.Keys[1]), string(r.Keys[2])), false
+		}
 		return append(dst, statsReply(s)...), false
 
 	case opLRUCrawler:

@@ -25,6 +25,14 @@ type ICilkConfig struct {
 	// handler processes before yielding a scheduling point. Default
 	// 20, matching the pthread baseline's fairness threshold.
 	BatchLimit int
+	// ScanLevel is the priority level at which whole-store scan
+	// requests ("stats cachedump") execute (default: lowest configured
+	// level, like the crawler). The scan runs as a future routine at
+	// this level with a data-parallel shard sweep inside it, so a
+	// multi-megabyte dump neither blocks its connection's siblings nor
+	// competes with point requests at RequestLevel — and interactive
+	// traffic preempts it at every split point.
+	ScanLevel int
 	// ServiceHistogram, if non-nil, records per-request service time
 	// (request fully parsed to reply written) — constant-memory
 	// latency tracking for long-running deployments.
@@ -76,6 +84,9 @@ func NewICilkServer(store *Store, rt *icilk.Runtime, cfg ICilkConfig) *ICilkServ
 	}
 	if cfg.CrawlerLevel <= 0 {
 		cfg.CrawlerLevel = rt.Levels() - 1
+	}
+	if cfg.ScanLevel <= 0 {
+		cfg.ScanLevel = rt.Levels() - 1
 	}
 	s := &ICilkServer{store: store, rt: rt, cfg: cfg}
 	if reg := cfg.Metrics; reg != nil {
@@ -227,7 +238,14 @@ func (s *ICilkServer) handleConn(t *icilk.Task, ep Conn) {
 		}
 		t0 := time.Now()
 		var quit bool
-		reply, quit = ExecuteAppend(s.store, &req, reply[:0])
+		if req.Op == opStats && len(req.Keys) == 3 && string(req.Keys[0]) == "cachedump" {
+			// Whole-store scan: intercepted before the sequential
+			// executor and run as a data-parallel sweep at ScanLevel.
+			// Reply bytes are identical to ExecuteAppend's.
+			reply = s.cachedumpParallel(t, string(req.Keys[1]), string(req.Keys[2]), reply[:0])
+		} else {
+			reply, quit = ExecuteAppend(s.store, &req, reply[:0])
+		}
 		if len(reply) > 0 {
 			ep.Write(reply)
 		}
@@ -310,6 +328,28 @@ func (s *ICilkServer) handleBinaryConn(t *icilk.Task, ep Conn, lr *icilk.LineRea
 			t.Yield()
 		}
 	}
+}
+
+// cachedumpParallel serves "stats cachedump <shard|all> <limit>" as a
+// future routine at ScanLevel whose body sweeps the selected shards
+// with a data-parallel Map — one loop iteration per shard snapshot,
+// each a lock-bounded LRU walk. The connection routine blocks on the
+// scan future (suspending, not spinning), the scan's split points are
+// promptness checks, and the rendered bytes match the sequential
+// cachedumpAppend exactly: same per-shard snapshots, same shard
+// order, same global limit, same renderer.
+func (s *ICilkServer) cachedumpParallel(t *icilk.Task, shardSel, limitStr string, dst []byte) []byte {
+	shards, limit, ok := cachedumpArgs(s.store, shardSel, limitStr)
+	if !ok {
+		return append(dst, replyBadCachedump...)
+	}
+	f := t.FutCreate(s.cfg.ScanLevel, func(ct *icilk.Task) any {
+		return icilk.Map(ct, shards, 1, func(si int) []DumpEntry {
+			return s.store.DumpShard(si, limit)
+		})
+	})
+	perShard := f.Get(t).([][]DumpEntry)
+	return appendDumpEntries(dst, perShard, limit)
 }
 
 // recordRequest charges one completed request to the configured

@@ -344,6 +344,38 @@ func (s *Store) CrawlShard(i int) int {
 // Shards returns the shard count (crawler scheduling).
 func (s *Store) Shards() int { return len(s.shards) }
 
+// DumpEntry is one item's metadata as "stats cachedump" reports it.
+type DumpEntry struct {
+	Key      string
+	Size     int   // value bytes
+	ExpireAt int64 // unix seconds; 0 = never
+}
+
+// DumpShard snapshots one shard's live items in LRU order (most
+// recently used first) — the deterministic enumeration behind "stats
+// cachedump". The snapshot is taken under the shard lock; limit > 0
+// caps the entries returned. Determinism matters beyond aesthetics:
+// the text and binary-append protocol paths must render byte-identical
+// replies (the protocol fuzzers compare them), so the walk order must
+// not depend on map iteration.
+func (s *Store) DumpShard(i, limit int) []DumpEntry {
+	now := time.Now().Unix()
+	sh := &s.shards[i%len(s.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var out []DumpEntry
+	for it := sh.head; it != nil; it = it.next {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		if it.expired(now) {
+			continue
+		}
+		out = append(out, DumpEntry{Key: it.Key, Size: len(it.Value), ExpireAt: it.ExpireAt})
+	}
+	return out
+}
+
 // Range calls fn for every live (unexpired) item — the enumeration a
 // cluster rebalance needs to move a shard's keys to their new owners.
 // Each hash-table partition's entries are snapshotted by value under

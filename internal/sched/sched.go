@@ -302,6 +302,11 @@ type Runtime struct {
 	// inv tracks dynamically detected priority inversions.
 	inv inversionState
 
+	// spawnCostNS is the measured spawn+sync round-trip cost in
+	// nanoseconds, calibrated lazily by the data-parallel layer's
+	// auto-grain mode (0 = not yet calibrated). One word, written once.
+	spawnCostNS atomic.Int64
+
 	// trace is the optional event log (nil when disabled; the nil
 	// receiver is a no-op).
 	trace *trace.Log
@@ -373,6 +378,20 @@ func (rt *Runtime) Levels() int { return rt.cfg.Levels }
 
 // Workers returns the configured number of workers.
 func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// SpawnCostNS returns the calibrated spawn+sync round-trip cost in
+// nanoseconds, or 0 before any calibration ran. The data-parallel
+// layer's auto-grain mode calibrates it on first use and sizes
+// sequential chunks against it (see icilk.AutoGrain).
+func (rt *Runtime) SpawnCostNS() int64 { return rt.spawnCostNS.Load() }
+
+// SetSpawnCostNS records the spawn+sync cost calibration (first
+// writer wins, so concurrent first-use calibrations agree afterwards).
+func (rt *Runtime) SetSpawnCostNS(ns int64) {
+	if ns > 0 {
+		rt.spawnCostNS.CompareAndSwap(0, ns)
+	}
+}
 
 // SetServiceEstimate installs the per-level mean-service-time
 // estimator (nanoseconds; 0 = unknown) consulted by the urgent-queue

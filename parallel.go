@@ -1,34 +1,172 @@
 package icilk
 
-// Parallel-loop helpers built on Spawn/Sync — the convenience layer a
-// Cilk programmer gets from cilk_for. Divide-and-conquer splitting
-// (rather than one spawn per iteration) keeps the spawn tree
-// logarithmic, so steal granularity adapts to however many workers
-// show up, and every split point doubles as a promptness check.
+// Data-parallel helpers built on Spawn/Sync/Call — the convenience
+// layer a Cilk programmer gets from cilk_for and parlaylib's
+// parallel_for/par_do. Divide-and-conquer splitting (rather than one
+// spawn per iteration) keeps the spawn tree logarithmic, so steal
+// granularity adapts to however many workers show up, and every split
+// point doubles as a promptness check.
+//
+// Two structural rules, both load-bearing (DESIGN.md, "Data-parallel
+// cost model"):
+//
+//  1. Frame-scoped joins. Every recursive invocation runs in its own
+//     task frame — the spawned half in its spawned child's frame, the
+//     continued half in a called frame (Task.Call) — so a nested Sync
+//     joins exactly that split's children. The seed's version recursed
+//     into the left half on the caller's own Task, so deep syncs
+//     joined right-sibling spawns of every enclosing split,
+//     serializing the combine tree (kept as ReduceShared for the
+//     regression test and the ablation benchmark).
+//
+//  2. Asymmetric split with a granularity cutoff. Ranges split at
+//     lo + 9(n+1)/16 (parlaylib's rule): the worker dives into the
+//     slightly larger left piece and the stealable continuation
+//     carries the smaller right piece, biasing steals toward smaller
+//     remainders. Splitting stops at the grain — the largest chunk
+//     executed sequentially — which amortizes the measured ~1.4 µs
+//     spawn+sync cost while keeping sequential runs (the window
+//     between promptness checks) bounded.
 
-// For executes body(i) for every i in [lo, hi) with fork-join
-// parallelism. grain is the largest chunk executed sequentially; 0
-// picks a default of (hi-lo)/(8*workers), at least 1.
+import (
+	"time"
+
+	"icilk/internal/invariant"
+	"icilk/internal/invariant/perturb"
+)
+
+// AutoGrain, passed as the grain argument, selects the auto-tuned
+// grain mode: a leading prefix of the range runs sequentially in
+// doubling blocks until one block's measured duration reaches the
+// amortization target (grainTargetMult × the runtime's calibrated
+// spawn+sync cost), and the remainder splits with the grain derived
+// from that probe — parlaylib's get_granularity, calibrated against
+// this runtime instead of a hard-coded tick. Bodies with wildly
+// non-uniform per-iteration cost should pass an explicit grain.
+const AutoGrain = -1
+
+const (
+	// defaultSpawnCostNS seeds the amortization target when the
+	// calibration cannot run; it is the committed SpawnSync result from
+	// BENCH_sched.json (1439 ns/op), rounded.
+	defaultSpawnCostNS = 1400
+	// grainTargetMult sets the auto-grain amortization target: a
+	// sequential leaf should cost at least this many spawns' worth of
+	// work, bounding spawn overhead near 1/grainTargetMult while
+	// keeping leaves — the uninterruptible windows between promptness
+	// checks — in the tens of microseconds.
+	grainTargetMult = 8
+	// defaultGrainDiv is parlaylib's static cutoff denominator:
+	// default grain = n/(128·workers), i.e. ~128 chunks per worker for
+	// load balance under non-uniform bodies.
+	defaultGrainDiv = 128
+	// minDefaultGrain floors the static default grain so a small range
+	// on a many-worker runtime never degenerates to one-iteration
+	// spawns (a 1.4 µs spawn per loop iteration is the pathology the
+	// floor exists for). Explicit grains are honored as given.
+	minDefaultGrain = 8
+	// spawnCalReps is the spawn+sync round-trip sample count of the
+	// lazy calibration; the clamps below keep a perturbed or preempted
+	// calibration from producing an absurd target.
+	spawnCalReps   = 64
+	minSpawnCostNS = 100
+	maxSpawnCostNS = 100_000
+)
+
+// spawnCostNS returns the runtime's calibrated spawn+sync cost,
+// measuring it on first use: spawnCalReps empty spawn/sync round
+// trips, timed inside a private called frame so the calibration never
+// joins (or is joined by) the caller's own children. First writer
+// wins, so every auto-grain loop on one runtime agrees on the target.
+func spawnCostNS(t *Task) int64 {
+	rt := t.Runtime()
+	if ns := rt.SpawnCostNS(); ns > 0 {
+		return ns
+	}
+	t.Call(func(ft *Task) {
+		start := time.Now()
+		for i := 0; i < spawnCalReps; i++ {
+			ft.Spawn(func(*Task) {})
+			ft.Sync()
+		}
+		ns := int64(time.Since(start)) / spawnCalReps
+		if ns < minSpawnCostNS {
+			ns = minSpawnCostNS
+		}
+		if ns > maxSpawnCostNS {
+			ns = maxSpawnCostNS
+		}
+		rt.SetSpawnCostNS(ns)
+	})
+	return rt.SpawnCostNS()
+}
+
+// resolveGrain maps a non-negative grain argument to the split
+// cutoff for a range of n iterations. Explicit grains are clamped to
+// the range; the default (0) is the parlaylib cutoff n/(128·workers),
+// floored at minDefaultGrain and capped at n, so the cutoff never
+// exceeds the range yet never falls to one-iteration spawns.
+func resolveGrain(t *Task, n, grain int) int {
+	if grain <= 0 {
+		grain = n / (defaultGrainDiv * t.Runtime().Workers())
+		if grain < minDefaultGrain {
+			grain = minDefaultGrain
+		}
+	}
+	if grain > n {
+		grain = n
+	}
+	return grain
+}
+
+// splitMid returns the asymmetric split point of [lo, hi): parlaylib's
+// lo + 9(n+1)/16. For every n ≥ 2 it satisfies lo < mid < hi.
+func splitMid(lo, hi int) int {
+	return lo + 9*(hi-lo+1)/16
+}
+
+// For executes body(i) for every i in [lo, hi) exactly once, with
+// fork-join parallelism. grain is the largest chunk executed
+// sequentially: positive values are used as given (clamped to the
+// range), 0 picks the parlaylib default cutoff, and AutoGrain
+// calibrates against the measured spawn cost. The loop runs in its own
+// called frame, so it never joins children the caller spawned before
+// it.
 func For(t *Task, lo, hi, grain int, body func(i int)) {
 	if hi <= lo {
 		return
 	}
-	if grain <= 0 {
-		grain = (hi - lo) / (8 * t.Runtime().Workers())
-		if grain < 1 {
-			grain = 1
+	if grain < 0 {
+		done, g := forProbe(t, lo, hi, grainTargetMult*spawnCostNS(t), body)
+		lo += done
+		if lo >= hi {
+			return
 		}
+		grain = g
+	} else {
+		grain = resolveGrain(t, hi-lo, grain)
 	}
-	forRec(t, lo, hi, grain, body)
+	lo2, hi2, g := lo, hi, grain
+	t.Call(func(ft *Task) { forRec(ft, lo2, hi2, g, body) })
 }
 
+// forRec is one loop frame: it peels stealable left pieces off the
+// front of the range (each in its own spawned frame) until the
+// remainder fits the grain, runs that sequentially, and joins. The
+// frame's Sync sees only the frame's own spawns — a called frame
+// boundary above every forRec keeps enclosing loops and user spawns
+// out of its join scope.
 func forRec(t *Task, lo, hi, grain int, body func(i int)) {
 	for hi-lo > grain {
-		mid := lo + (hi-lo)/2
-		mid2 := mid // capture
-		hi2 := hi
-		t.Spawn(func(ct *Task) { forRec(ct, mid2, hi2, grain, body) })
-		hi = mid
+		if invariant.Enabled {
+			// The window between deciding to split and parking the
+			// continuation is where a thief takes the right piece.
+			perturb.At(perturb.LoopSplit)
+		}
+		mid := splitMid(lo, hi)
+		lo2, mid2 := lo, mid
+		t.Spawn(func(ct *Task) { forRec(ct, lo2, mid2, grain, body) })
+		lo = mid
 	}
 	for i := lo; i < hi; i++ {
 		body(i)
@@ -36,8 +174,53 @@ func forRec(t *Task, lo, hi, grain int, body func(i int)) {
 	t.Sync()
 }
 
+// forProbe is the auto-grain calibration pass: it executes leading
+// iterations sequentially in doubling blocks until one block's
+// measured duration reaches targetNS (or the range is exhausted),
+// then derives the grain for the remainder as max(probed count,
+// remaining/(128·workers)) — parlaylib's get_granularity rule with
+// the runtime-calibrated target. Every probed iteration counts as
+// done: body runs exactly once per index.
+func forProbe(t *Task, lo, hi int, targetNS int64, body func(i int)) (done, grain int) {
+	n := hi - lo
+	sz := 1
+	for done < n {
+		if sz > n-done {
+			sz = n - done
+		}
+		start := time.Now()
+		for i := lo + done; i < lo+done+sz; i++ {
+			body(i)
+		}
+		done += sz
+		sz *= 2
+		if int64(time.Since(start)) >= targetNS {
+			break
+		}
+	}
+	return done, probeGrain(t, n-done, done)
+}
+
+// probeGrain combines the probe result with the static load-balance
+// term: the probed count amortizes the spawn cost, the
+// remaining/(128·workers) term keeps ~128 chunks per worker on large
+// ranges, and the clamps keep the grain inside [1, remaining].
+func probeGrain(t *Task, remaining, done int) int {
+	g := remaining / (defaultGrainDiv * t.Runtime().Workers())
+	if done > g {
+		g = done
+	}
+	if g < 1 {
+		g = 1
+	}
+	if remaining > 0 && g > remaining {
+		g = remaining
+	}
+	return g
+}
+
 // Map applies fn to every element of in, in parallel, returning the
-// results in order.
+// results in order. grain follows For's rules.
 func Map[In, Out any](t *Task, in []In, grain int, fn func(In) Out) []Out {
 	out := make([]Out, len(in))
 	For(t, 0, len(in), grain, func(i int) {
@@ -46,9 +229,98 @@ func Map[In, Out any](t *Task, in []In, grain int, fn func(In) Out) []Out {
 	return out
 }
 
-// Reduce combines fn over [lo, hi) with a parallel tree reduction.
-// combine must be associative; zero is its identity.
+// Reduce combines fn over [lo, hi) with a parallel tree reduction:
+// result = zero ⊕ leaf(lo) ⊕ … ⊕ leaf(hi-1), where ⊕ is combine.
+// combine must be associative and zero its identity; the combine
+// order always respects index order, so non-commutative combines are
+// fine. grain follows For's rules.
 func Reduce[T any](t *Task, lo, hi, grain int, zero T, leaf func(i int) T, combine func(a, b T) T) T {
+	if hi <= lo {
+		return zero
+	}
+	probed := false
+	acc := zero
+	if grain < 0 {
+		var done int
+		acc, done, grain = reduceProbe(t, lo, hi, grainTargetMult*spawnCostNS(t), zero, leaf, combine)
+		probed = true
+		lo += done
+		if lo >= hi {
+			return acc
+		}
+	} else {
+		grain = resolveGrain(t, hi-lo, grain)
+	}
+	var rest T
+	lo2, hi2, g := lo, hi, grain
+	t.Call(func(ft *Task) { rest = reduceRec(ft, lo2, hi2, g, zero, leaf, combine) })
+	if probed {
+		return combine(acc, rest)
+	}
+	return rest
+}
+
+// reduceRec is one reduction frame. The left piece is spawned (its
+// own child frame), the right piece runs in a called frame, and this
+// frame's Sync joins exactly its one spawn — so a stalled subtree
+// never blocks an independent subtree's combine. Contrast with
+// ReduceShared, the seed's version, whose left recursion shared the
+// caller's frame: its innermost Sync joined the right-sibling spawns
+// of every enclosing split, serializing the combine spine behind the
+// globally slowest leaf.
+func reduceRec[T any](t *Task, lo, hi, grain int, zero T, leaf func(i int) T, combine func(a, b T) T) T {
+	if hi-lo <= grain {
+		acc := zero
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, leaf(i))
+		}
+		return acc
+	}
+	if invariant.Enabled {
+		perturb.At(perturb.LoopSplit)
+	}
+	mid := splitMid(lo, hi)
+	var left, right T
+	t.Spawn(func(ct *Task) { left = reduceRec(ct, lo, mid, grain, zero, leaf, combine) })
+	t.Call(func(ft *Task) { right = reduceRec(ft, mid, hi, grain, zero, leaf, combine) })
+	t.Sync()
+	return combine(left, right)
+}
+
+// reduceProbe is forProbe for reductions: it folds leading iterations
+// sequentially in doubling blocks until one block's duration reaches
+// targetNS, returning the partial accumulation, the count consumed,
+// and the derived grain for the remainder.
+func reduceProbe[T any](t *Task, lo, hi int, targetNS int64, zero T, leaf func(i int) T, combine func(a, b T) T) (acc T, done, grain int) {
+	n := hi - lo
+	acc = zero
+	sz := 1
+	for done < n {
+		if sz > n-done {
+			sz = n - done
+		}
+		start := time.Now()
+		for i := lo + done; i < lo+done+sz; i++ {
+			acc = combine(acc, leaf(i))
+		}
+		done += sz
+		sz *= 2
+		if int64(time.Since(start)) >= targetNS {
+			break
+		}
+	}
+	return acc, done, probeGrain(t, n-done, done)
+}
+
+// ReduceShared is the seed's shared-task-frame reduction, kept
+// verbatim (old split rule, old default grain, recursion on the
+// caller's own Task) as the ablation baseline for cmd/parallel-bench
+// and the frame-scoping regression tests. Its nested syncs join
+// right-sibling spawns of enclosing frames, over-synchronizing the
+// combine tree.
+//
+// Deprecated: use Reduce.
+func ReduceShared[T any](t *Task, lo, hi, grain int, zero T, leaf func(i int) T, combine func(a, b T) T) T {
 	if hi <= lo {
 		return zero
 	}
@@ -58,10 +330,10 @@ func Reduce[T any](t *Task, lo, hi, grain int, zero T, leaf func(i int) T, combi
 			grain = 1
 		}
 	}
-	return reduceRec(t, lo, hi, grain, zero, leaf, combine)
+	return reduceSharedRec(t, lo, hi, grain, zero, leaf, combine)
 }
 
-func reduceRec[T any](t *Task, lo, hi, grain int, zero T, leaf func(i int) T, combine func(a, b T) T) T {
+func reduceSharedRec[T any](t *Task, lo, hi, grain int, zero T, leaf func(i int) T, combine func(a, b T) T) T {
 	if hi-lo <= grain {
 		acc := zero
 		for i := lo; i < hi; i++ {
@@ -71,8 +343,129 @@ func reduceRec[T any](t *Task, lo, hi, grain int, zero T, leaf func(i int) T, co
 	}
 	mid := lo + (hi-lo)/2
 	var right T
-	t.Spawn(func(ct *Task) { right = reduceRec(ct, mid, hi, grain, zero, leaf, combine) })
-	left := reduceRec(t, lo, mid, grain, zero, leaf, combine)
+	t.Spawn(func(ct *Task) { right = reduceSharedRec(ct, mid, hi, grain, zero, leaf, combine) })
+	left := reduceSharedRec(t, lo, mid, grain, zero, leaf, combine)
 	t.Sync()
 	return combine(left, right)
+}
+
+// ParDo runs left and right as a parallel pair — parlaylib's par_do.
+// The pair runs in its own called frame: the right function is
+// spawned (the calling worker dives into it, child-first), the left
+// runs in a nested called frame, and the join covers exactly the
+// pair. Either side may spawn, sync, and call ParDo recursively
+// without ever serializing against the caller's outstanding children.
+func ParDo(t *Task, left, right func(*Task)) {
+	t.Call(func(ft *Task) {
+		ft.Spawn(right)
+		ft.Call(left)
+		ft.Sync()
+	})
+}
+
+// Scan computes the exclusive prefix combination of in: out[i] =
+// zero ⊕ in[0] ⊕ … ⊕ in[i-1], returning out and the total
+// combination. combine must be associative and zero its identity.
+// Two parallel passes over grain-sized blocks (block reduce, then
+// block rewrite under a sequentially scanned spine) — the classic
+// work-efficient scan. grain > 0 sets the block size; 0 and AutoGrain
+// both pick the static default (the timed probe does not fit the
+// two-pass structure).
+func Scan[T any](t *Task, in []T, grain int, zero T, combine func(a, b T) T) ([]T, T) {
+	n := len(in)
+	out := make([]T, n)
+	if n == 0 {
+		return out, zero
+	}
+	b := scanBlock(t, n, grain)
+	nb := (n + b - 1) / b
+	sums := make([]T, nb)
+	For(t, 0, nb, 1, func(bi int) {
+		lo, hi := bi*b, (bi+1)*b
+		if hi > n {
+			hi = n
+		}
+		acc := zero
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, in[i])
+		}
+		sums[bi] = acc
+	})
+	// Sequential spine: exclusive scan of the nb ≈ n/grain block sums.
+	acc := zero
+	for bi := range sums {
+		s := sums[bi]
+		sums[bi] = acc
+		acc = combine(acc, s)
+	}
+	For(t, 0, nb, 1, func(bi int) {
+		lo, hi := bi*b, (bi+1)*b
+		if hi > n {
+			hi = n
+		}
+		p := sums[bi]
+		for i := lo; i < hi; i++ {
+			out[i] = p
+			p = combine(p, in[i])
+		}
+	})
+	return out, acc
+}
+
+// Filter returns the elements of in satisfying pred, in order. pred
+// is evaluated exactly once per element (flag pass, block-count scan,
+// then a parallel packing pass into an exact-size result). grain
+// follows Scan's rules.
+func Filter[T any](t *Task, in []T, grain int, pred func(T) bool) []T {
+	n := len(in)
+	if n == 0 {
+		return []T{}
+	}
+	b := scanBlock(t, n, grain)
+	nb := (n + b - 1) / b
+	keep := make([]bool, n)
+	counts := make([]int, nb)
+	For(t, 0, nb, 1, func(bi int) {
+		lo, hi := bi*b, (bi+1)*b
+		if hi > n {
+			hi = n
+		}
+		c := 0
+		for i := lo; i < hi; i++ {
+			if pred(in[i]) {
+				keep[i] = true
+				c++
+			}
+		}
+		counts[bi] = c
+	})
+	total := 0
+	for bi, c := range counts {
+		counts[bi] = total
+		total += c
+	}
+	out := make([]T, total)
+	For(t, 0, nb, 1, func(bi int) {
+		lo, hi := bi*b, (bi+1)*b
+		if hi > n {
+			hi = n
+		}
+		k := counts[bi]
+		for i := lo; i < hi; i++ {
+			if keep[i] {
+				out[k] = in[i]
+				k++
+			}
+		}
+	})
+	return out
+}
+
+// scanBlock sizes the blocks of the two-pass algorithms: an explicit
+// grain as given, otherwise the static default cutoff.
+func scanBlock(t *Task, n, grain int) int {
+	if grain < 0 {
+		grain = 0
+	}
+	return resolveGrain(t, n, grain)
 }

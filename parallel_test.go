@@ -1,9 +1,12 @@
 package icilk
 
 import (
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestForCoversRangeExactlyOnce(t *testing.T) {
@@ -98,6 +101,321 @@ func TestReduceMaxWithStrings(t *testing.T) {
 	}).(string)
 	if got != "zucchini" {
 		t.Fatalf("max = %q", got)
+	}
+}
+
+// TestReduceFrameScopedCombine is the frame-scoping regression test:
+// a stalled leaf deep in the right subtree must not block the
+// independent left subtree's combine. Range [0,4) with grain 1 builds
+// the full tree; leaf 3 spins until it observes the left subtree's
+// combine(1,2) having fired. Under the fixed Reduce each split joins
+// in its own frame, so the left combine fires while leaf 3 stalls and
+// the whole reduction completes. Under the seed's shared-frame version
+// (see TestReduceSharedSerializesCombine) the left spine's sync joins
+// the enclosing right-half spawn too, so the left combine is stuck
+// behind the stalled leaf — this test deadlocks against the old code.
+func TestReduceFrameScopedCombine(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1, Scheduler: Prompt})
+	var leftCombined atomic.Bool
+	var stallTimedOut atomic.Bool
+	got := rt.Run(func(task *Task) any {
+		return Reduce(task, 0, 4, 1, 0,
+			func(i int) int {
+				if i == 3 {
+					deadline := time.Now().Add(3 * time.Second)
+					for !leftCombined.Load() {
+						if time.Now().After(deadline) {
+							stallTimedOut.Store(true)
+							break
+						}
+						runtime.Gosched()
+					}
+				}
+				return 1 << i
+			},
+			func(a, b int) int {
+				if a == 1 && b == 2 {
+					leftCombined.Store(true)
+				}
+				return a | b
+			})
+	}).(int)
+	if got != 0b1111 {
+		t.Fatalf("reduce = %#b, want 0b1111", got)
+	}
+	if stallTimedOut.Load() {
+		t.Fatal("left subtree's combine did not fire while the right leaf stalled: nested sync joined an enclosing frame's spawn")
+	}
+}
+
+// TestReduceSharedSerializesCombine pins down the defect the called
+// frames fix, against the preserved old code: with ReduceShared the
+// left spine recurses on the caller's own Task, so the sync guarding
+// combine(1,2) also joins the enclosing [2,4) spawn and cannot fire
+// until the stalled leaf 3 gives up. If someone "fixes" ReduceShared,
+// this test reminds them it exists only as the ablation baseline.
+func TestReduceSharedSerializesCombine(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1, Scheduler: Prompt})
+	var leftCombined atomic.Bool
+	var stallTimedOut atomic.Bool
+	got := rt.Run(func(task *Task) any {
+		return ReduceShared(task, 0, 4, 1, 0,
+			func(i int) int {
+				if i == 3 {
+					deadline := time.Now().Add(300 * time.Millisecond)
+					for !leftCombined.Load() {
+						if time.Now().After(deadline) {
+							stallTimedOut.Store(true)
+							break
+						}
+						runtime.Gosched()
+					}
+				}
+				return 1 << i
+			},
+			func(a, b int) int {
+				if a == 1 && b == 2 {
+					leftCombined.Store(true)
+				}
+				return a | b
+			})
+	}).(int)
+	if got != 0b1111 {
+		t.Fatalf("reduce = %#b, want 0b1111", got)
+	}
+	if !stallTimedOut.Load() {
+		t.Fatal("ReduceShared's left combine fired during the stall; the shared-frame baseline no longer exhibits the over-synchronization it exists to demonstrate")
+	}
+}
+
+// TestGrainResolution unit-tests the split cutoff rules directly:
+// the resolved grain never exceeds the range and the default never
+// degenerates to one-iteration spawns, whatever the worker count.
+func TestGrainResolution(t *testing.T) {
+	rt := newRT(t, Config{Workers: 8, Levels: 1})
+	rt.Run(func(task *Task) any {
+		cases := []struct {
+			n, grain, want int
+		}{
+			{3, 0, 3},             // small range, many workers: clamped to n, not 1
+			{5, 100, 5},           // explicit grain clamped to the range
+			{7, 7, 7},             // explicit grain exactly the range
+			{100, 0, 8},           // 100/(128*8) = 0 → floored at minDefaultGrain
+			{1 << 20, 0, 1024},    // large range: n/(128*workers)
+			{1 << 20, 4096, 4096}, // explicit grain passes through
+		}
+		for _, c := range cases {
+			if got := resolveGrain(task, c.n, c.grain); got != c.want {
+				t.Errorf("resolveGrain(n=%d, grain=%d) = %d, want %d", c.n, c.grain, got, c.want)
+			}
+		}
+		// The default grain is never below minDefaultGrain and never
+		// above n, for any range size.
+		for n := 1; n < 3000; n = n*2 + 1 {
+			g := resolveGrain(task, n, 0)
+			if g > n {
+				t.Errorf("default grain %d exceeds range %d", g, n)
+			}
+			if g < minDefaultGrain && g != n {
+				t.Errorf("default grain %d for n=%d fell below the one-iteration-spawn floor", g, n)
+			}
+		}
+		// probeGrain stays inside [1, remaining].
+		for _, pc := range []struct{ remaining, done int }{{0, 5}, {1, 1000}, {10, 3}, {1 << 20, 64}} {
+			g := probeGrain(task, pc.remaining, pc.done)
+			if pc.remaining > 0 && (g < 1 || g > pc.remaining) {
+				t.Errorf("probeGrain(remaining=%d, done=%d) = %d out of [1, %d]", pc.remaining, pc.done, g, pc.remaining)
+			}
+		}
+		return nil
+	})
+	// The asymmetric split point is strictly interior for every n ≥ 2.
+	for n := 2; n < 500; n++ {
+		lo, hi := 17, 17+n
+		mid := splitMid(lo, hi)
+		if mid <= lo || mid >= hi {
+			t.Fatalf("splitMid(%d, %d) = %d not interior", lo, hi, mid)
+		}
+	}
+}
+
+// TestForAutoGrain: the timed-probe mode still executes every index
+// exactly once — probed prefix and split remainder must not overlap.
+func TestForAutoGrain(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1})
+	for _, n := range []int{1, 2, 63, 1024, 10000} {
+		counts := make([]atomic.Int32, n)
+		rt.Run(func(task *Task) any {
+			For(task, 0, n, AutoGrain, func(i int) { counts[i].Add(1) })
+			return nil
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestReduceAutoGrain: the probe's partial accumulation must combine
+// with the tree remainder in index order.
+func TestReduceAutoGrain(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1})
+	const n = 5000
+	got := rt.Run(func(task *Task) any {
+		return Reduce(task, 1, n+1, AutoGrain, 0,
+			func(i int) int { return i },
+			func(a, b int) int { return a + b })
+	}).(int)
+	if want := n * (n + 1) / 2; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// TestScanPrefixSums checks Scan against the sequential reference for
+// a spread of sizes, including the empty and single-element cases.
+func TestScanPrefixSums(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1})
+	for _, n := range []int{0, 1, 2, 7, 100, 4097} {
+		in := make([]int, n)
+		for i := range in {
+			in[i] = i + 1
+		}
+		var out []int
+		var total int
+		rt.Run(func(task *Task) any {
+			out, total = Scan(task, in, 0, 0, func(a, b int) int { return a + b })
+			return nil
+		})
+		acc := 0
+		for i := range in {
+			if out[i] != acc {
+				t.Fatalf("n=%d: out[%d] = %d, want %d", n, i, out[i], acc)
+			}
+			acc += in[i]
+		}
+		if total != acc {
+			t.Fatalf("n=%d: total = %d, want %d", n, total, acc)
+		}
+	}
+}
+
+// TestScanNonCommutative: string concatenation only scans correctly if
+// every block combine respects index order.
+func TestScanNonCommutative(t *testing.T) {
+	rt := newRT(t, Config{Workers: 3, Levels: 1})
+	in := strings.Split("the quick brown fox jumps over the lazy dog", " ")
+	var out []string
+	var total string
+	rt.Run(func(task *Task) any {
+		out, total = Scan(task, in, 2, "", func(a, b string) string { return a + b })
+		return nil
+	})
+	acc := ""
+	for i := range in {
+		if out[i] != acc {
+			t.Fatalf("out[%d] = %q, want %q", i, out[i], acc)
+		}
+		acc += in[i]
+	}
+	if total != acc {
+		t.Fatalf("total = %q, want %q", total, acc)
+	}
+}
+
+// TestFilterKeepsOrderEvaluatesOnce: Filter preserves input order,
+// sizes its result exactly, and calls pred exactly once per element.
+func TestFilterKeepsOrderEvaluatesOnce(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1})
+	const n = 3001
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	evals := make([]atomic.Int32, n)
+	var out []int
+	rt.Run(func(task *Task) any {
+		out = Filter(task, in, 0, func(v int) bool {
+			evals[v].Add(1)
+			return v%3 == 0
+		})
+		return nil
+	})
+	want := 0
+	for i := 0; i < n; i += 3 {
+		if out[want] != i {
+			t.Fatalf("out[%d] = %d, want %d", want, out[want], i)
+		}
+		want++
+	}
+	if len(out) != want {
+		t.Fatalf("len(out) = %d, want %d", len(out), want)
+	}
+	for i := range evals {
+		if c := evals[i].Load(); c != 1 {
+			t.Fatalf("pred(%d) evaluated %d times", i, c)
+		}
+	}
+	// Empty result and empty input both come back non-nil and empty.
+	rt.Run(func(task *Task) any {
+		if got := Filter(task, in, 0, func(int) bool { return false }); len(got) != 0 {
+			t.Errorf("filter-none kept %d elements", len(got))
+		}
+		if got := Filter(task, []int{}, 0, func(int) bool { return true }); len(got) != 0 {
+			t.Errorf("empty input produced %d elements", len(got))
+		}
+		return nil
+	})
+}
+
+// TestParDo: both sides run, either side may spawn and sync freely,
+// and recursive ParDo trees complete — the par_do contract.
+func TestParDo(t *testing.T) {
+	rt := newRT(t, Config{Workers: 4, Levels: 1})
+	var leaves atomic.Int64
+	var rec func(t *Task, depth int)
+	rec = func(t *Task, depth int) {
+		if depth == 0 {
+			leaves.Add(1)
+			return
+		}
+		ParDo(t,
+			func(lt *Task) { rec(lt, depth-1) },
+			func(rt *Task) { rec(rt, depth-1) })
+	}
+	rt.Run(func(task *Task) any {
+		// An outstanding caller spawn must not be joined by ParDo's pair.
+		task.Spawn(func(ct *Task) { leaves.Add(1) })
+		rec(task, 5)
+		task.Sync()
+		return nil
+	})
+	if got := leaves.Load(); got != 32+1 {
+		t.Fatalf("leaves = %d, want 33", got)
+	}
+}
+
+// TestForSteadyStateAllocs gates allocations on the steady-state loop:
+// a warm For must allocate O(splits), never O(iterations). n/grain
+// here is 16, so the generous bound of 600 is still ~100× below what a
+// single allocation per iteration would produce.
+func TestForSteadyStateAllocs(t *testing.T) {
+	rt := newRT(t, Config{Workers: 2, Levels: 1, Scheduler: Prompt})
+	const n, grain = 1 << 16, 1 << 12
+	data := make([]int64, n)
+	rt.Run(func(task *Task) any {
+		body := func(i int) { data[i]++ }
+		For(task, 0, n, grain, body) // warm the frame and node pools
+		allocs := testing.AllocsPerRun(10, func() {
+			For(task, 0, n, grain, body)
+		})
+		if allocs > 600 {
+			t.Errorf("steady-state For allocated %.0f objects for %d iterations (grain %d); loop overhead must not scale with the iteration count", allocs, n, grain)
+		}
+		return nil
+	})
+	if data[0] == 0 || data[n-1] == 0 {
+		t.Fatal("loop body did not run")
 	}
 }
 
